@@ -1,0 +1,209 @@
+package inlinered
+
+// One benchmark per table/figure of the paper's evaluation (see DESIGN.md's
+// experiment index). Each benchmark executes the corresponding experiment
+// runner and reports its headline metrics through testing.B's custom
+// metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every result. Benchmarks default to a reduced stream size to
+// keep runs to seconds; set INLINERED_STREAM_MB (or use cmd/benchfig -mb)
+// for paper-scale numbers. The recorded paper-scale outputs live in
+// EXPERIMENTS.md.
+
+import (
+	"os"
+	"testing"
+
+	"inlinered/internal/experiments"
+)
+
+// benchConfig scales benchmark runs down unless the caller asked for more.
+func benchConfig(b *testing.B) experiments.Config {
+	cfg := experiments.DefaultConfig()
+	if os.Getenv("INLINERED_STREAM_MB") == "" {
+		cfg.StreamBytes = 64 << 20
+	}
+	if testing.Short() {
+		cfg.StreamBytes = 16 << 20
+		cfg.IndexEntries = 1 << 18
+	}
+	return cfg
+}
+
+// runExperiment executes one experiment per iteration and publishes the
+// chosen metrics.
+func runExperiment(b *testing.B, id string, metrics map[string]string) {
+	b.Helper()
+	r, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := benchConfig(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = r.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for key, unit := range metrics {
+		if v, ok := res.Metrics[key]; ok {
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
+// BenchmarkE1PrelimIndexing — §3.1(3): CPU vs GPU indexing time; paper: CPU
+// 4.16–5.45× faster with a kernel-launch floor on the GPU side.
+func BenchmarkE1PrelimIndexing(b *testing.B) {
+	runExperiment(b, "e1", map[string]string{
+		"ratio_batch_2048": "gpu/cpu@2048",
+		"ratio_batch_4096": "gpu/cpu@4096",
+	})
+}
+
+// BenchmarkE2Dedup — §4(1): parallel dedup; paper: GPU-supported +15% over
+// CPU-only, ~3× the SSD's throughput.
+func BenchmarkE2Dedup(b *testing.B) {
+	runExperiment(b, "e2", map[string]string{
+		"cpu_iops":  "cpu-IOPS",
+		"gpu_iops":  "gpu-IOPS",
+		"gain_pct":  "gain-%",
+		"gpu_x_ssd": "gpu-xSSD",
+	})
+}
+
+// BenchmarkE3Compression — §4(2): parallel compression; paper at low ratio:
+// CPU ~50K < SSD ~80K < GPU ~100K IOPS, GPU +88.3%.
+func BenchmarkE3Compression(b *testing.B) {
+	runExperiment(b, "e3", map[string]string{
+		"cpu_iops_r1.0": "cpu-IOPS@r1",
+		"gpu_iops_r1.0": "gpu-IOPS@r1",
+		"gain_pct_r1.0": "gain-%@r1",
+	})
+}
+
+// BenchmarkE4Integration — Figure 2: the four integration options; paper:
+// GPU-for-compression wins, +89.7% over CPU-only.
+func BenchmarkE4Integration(b *testing.B) {
+	runExperiment(b, "e4", map[string]string{
+		"iops_cpu-only":         "cpuonly-IOPS",
+		"iops_gpu-compress":     "gpucomp-IOPS",
+		"gain_gpu_compress_pct": "gain-%",
+	})
+}
+
+// BenchmarkE5Calibration — §4(3): dummy-I/O calibration picks the best
+// integration per platform.
+func BenchmarkE5Calibration(b *testing.B) {
+	runExperiment(b, "e5", map[string]string{
+		"best_platform_0": "best-paper",
+		"best_platform_1": "best-weakgpu",
+	})
+}
+
+// BenchmarkE6IndexMemory — §3.1(1): 16 GB index for 4 TB @ 8 KB; 2-byte
+// prefix truncation saves 1 GB.
+func BenchmarkE6IndexMemory(b *testing.B) {
+	runExperiment(b, "e6", map[string]string{
+		"index_gib_prefix_0": "GiB@n0",
+		"index_gib_prefix_2": "GiB@n2",
+	})
+}
+
+// BenchmarkE7Endurance — §1 motivation: background reduction writes a
+// multiple of inline reduction's I/O.
+func BenchmarkE7Endurance(b *testing.B) {
+	runExperiment(b, "e7", map[string]string{
+		"host_ratio": "bg/inline-host",
+		"nand_ratio": "bg/inline-nand",
+	})
+}
+
+// BenchmarkE8BinScaling — §3.1(1) ablation: lock-free bins scale with
+// threads; a global locked table does not.
+func BenchmarkE8BinScaling(b *testing.B) {
+	runExperiment(b, "e8", map[string]string{
+		"bins_mops_t8":   "bins-Mops@8t",
+		"locked_mops_t8": "locked-Mops@8t",
+	})
+}
+
+// BenchmarkE9BinBuffer — §3.3 ablation: the bin buffer exploits temporal
+// locality and batches sequential journal writes.
+func BenchmarkE9BinBuffer(b *testing.B) {
+	runExperiment(b, "e9", map[string]string{
+		"bufshare_buf16": "bufhit@16",
+		"iops_buf16":     "IOPS@16",
+	})
+}
+
+// BenchmarkE10SubBlockOverlap — §3.2(2) ablation: lanes per chunk vs
+// compression ratio loss, and overlap recovery.
+func BenchmarkE10SubBlockOverlap(b *testing.B) {
+	runExperiment(b, "e10", map[string]string{
+		"iops_s4_o512":  "IOPS@4lanes",
+		"ratio_s4_o512": "ratio@4lanes",
+	})
+}
+
+// BenchmarkE11ShiftedCDC — extension: content-defined chunking recovers the
+// duplicates that fixed 4 KB chunking loses on shifted data.
+func BenchmarkE11ShiftedCDC(b *testing.B) {
+	runExperiment(b, "e11", map[string]string{
+		"dedup_fixed-4K": "dedup-fixed",
+		"dedup_gear-cdc": "dedup-cdc",
+	})
+}
+
+// BenchmarkE12VolumeLifecycle — extension: block-device semantics (LBA
+// overwrites, refcounting, cleaning, reads) around the reduction pipeline.
+func BenchmarkE12VolumeLifecycle(b *testing.B) {
+	runExperiment(b, "e12", map[string]string{
+		"fill_mean_us": "fill-µs",
+		"read_mean_us": "read-µs",
+	})
+}
+
+// BenchmarkE13CodecAblation — extension: LZSS (hash chains) vs the
+// QuickLZ-class single-probe codec the paper baselines against.
+func BenchmarkE13CodecAblation(b *testing.B) {
+	runExperiment(b, "e13", map[string]string{
+		"iops_lzss_r2.0": "lzss-IOPS@r2",
+		"iops_qlz_r2.0":  "qlz-IOPS@r2",
+	})
+}
+
+// BenchmarkE14EntropyBypass — extension: skip the encoder for chunks the
+// entropy pre-check says will not compress.
+func BenchmarkE14EntropyBypass(b *testing.B) {
+	runExperiment(b, "e14", map[string]string{
+		"iops_off_f0.5": "off-IOPS@50%",
+		"iops_on_f0.5":  "on-IOPS@50%",
+	})
+}
+
+// BenchmarkE15GPUHashing — extension: raw GPU hashing wins (as GHOST found)
+// but costs two orders of magnitude more PCIe per chunk than index offload.
+func BenchmarkE15GPUHashing(b *testing.B) {
+	runExperiment(b, "e15", map[string]string{
+		"ratio_batch_4096":   "gpu/cpu@4096",
+		"pcie_amplification": "pcie-x",
+	})
+}
+
+// BenchmarkE16WriteAmplification — SSD-substrate validation: random
+// overwrites amplify NAND writes; sequential writes (the journal's pattern)
+// do not.
+func BenchmarkE16WriteAmplification(b *testing.B) {
+	runExperiment(b, "e16", map[string]string{
+		"wa_random_op7": "WA-rand@7%",
+		"wa_seq_op7":    "WA-seq@7%",
+	})
+}

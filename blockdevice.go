@@ -1,0 +1,85 @@
+package inlinered
+
+import (
+	"time"
+
+	"inlinered/internal/lz"
+	"inlinered/internal/volume"
+)
+
+// BlockDeviceOptions tunes a deduplicating, compressing block device (the
+// volume extension — see DESIGN.md).
+type BlockDeviceOptions struct {
+	// BlockSize is the LBA block (= chunk) size; 0 means 4 KB.
+	BlockSize int
+	// Blocks is the logical capacity in blocks; 0 means 2^18 (1 GiB at
+	// 4 KB blocks).
+	Blocks int64
+	// DisableCompression stores unique chunks raw.
+	DisableCompression bool
+	// QuickLZ selects the QuickLZ-class codec instead of LZSS.
+	QuickLZ bool
+	// CacheBytes bounds the content-addressed read cache; 0 keeps the
+	// 16 MiB default, negative disables caching.
+	CacheBytes int64
+}
+
+// BlockDevice is an LBA-addressed deduplicating, compressing volume on the
+// virtual clock: writes run the inline reduction path, reads decompress (or
+// hit the content-addressed cache), overwrites and trims release chunk
+// references, and Clean compacts log segments. Closed-loop: each operation
+// reports its virtual latency.
+type BlockDevice struct {
+	inner *volume.Volume
+}
+
+// DeviceStats reports the device's space and activity accounting.
+type DeviceStats = volume.Stats
+
+// NewBlockDevice builds a block device on the paper platform's CPU and SSD.
+func NewBlockDevice(opts BlockDeviceOptions) (*BlockDevice, error) {
+	cfg := volume.DefaultConfig()
+	if opts.BlockSize > 0 {
+		cfg.BlockSize = opts.BlockSize
+	}
+	if opts.Blocks > 0 {
+		cfg.Blocks = opts.Blocks
+	}
+	cfg.Compress = !opts.DisableCompression
+	if opts.QuickLZ {
+		cfg.Codec = lz.CodecQLZ
+	}
+	if opts.CacheBytes > 0 {
+		cfg.CacheBytes = opts.CacheBytes
+	} else if opts.CacheBytes < 0 {
+		cfg.CacheBytes = 0
+	}
+	inner, err := volume.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &BlockDevice{inner: inner}, nil
+}
+
+// Write stores one block at lba and returns the request's virtual latency.
+func (d *BlockDevice) Write(lba int64, data []byte) (time.Duration, error) {
+	return d.inner.Write(lba, data)
+}
+
+// Read returns the block at lba (zeros when unmapped) and its latency.
+func (d *BlockDevice) Read(lba int64) ([]byte, time.Duration, error) {
+	return d.inner.Read(lba)
+}
+
+// Trim unmaps a block, releasing its chunk reference.
+func (d *BlockDevice) Trim(lba int64) error { return d.inner.Trim(lba) }
+
+// Clean compacts garbage-heavy log segments and returns how many were
+// reclaimed.
+func (d *BlockDevice) Clean() (int, error) { return d.inner.Clean() }
+
+// Stats returns space and activity accounting.
+func (d *BlockDevice) Stats() DeviceStats { return d.inner.Stats() }
+
+// Now returns the device's virtual clock.
+func (d *BlockDevice) Now() time.Duration { return d.inner.Now() }

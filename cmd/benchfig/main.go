@@ -1,0 +1,85 @@
+// Command benchfig regenerates the paper's tables and figures. Each
+// experiment id (e1..e10) maps to one table or figure of the evaluation —
+// see DESIGN.md for the index and EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	benchfig [-exp e1|e2|...|e16|all] [-mb N] [-seed N] [-json]
+//
+// -mb scales the workload stream (the paper uses ~2048; the default 256
+// keeps a full run to a few minutes).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"inlinered/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (e1..e16) or 'all'")
+	mb := flag.Int("mb", 0, "stream size in MiB (0 = default / $INLINERED_STREAM_MB)")
+	seed := flag.Int64("seed", 0, "workload seed (0 = default)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable metrics instead of tables")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *mb > 0 {
+		cfg.StreamBytes = int64(*mb) << 20
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	var runners []experiments.Runner
+	if *exp == "all" {
+		runners = experiments.All()
+	} else {
+		r, ok := experiments.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchfig: unknown experiment %q (want e1..e16 or all)\n", *exp)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	if *jsonOut {
+		out := map[string]interface{}{
+			"stream_mb": cfg.StreamBytes >> 20,
+			"seed":      cfg.Seed,
+		}
+		results := map[string]map[string]float64{}
+		for _, r := range runners {
+			res, err := r.Run(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchfig: %s: %v\n", r.ID, err)
+				os.Exit(1)
+			}
+			results[r.ID] = res.Metrics
+		}
+		out["experiments"] = results
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchfig:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("# inlinered experiment harness — stream %d MiB, seed %d\n\n", cfg.StreamBytes>>20, cfg.Seed)
+	for _, r := range runners {
+		start := time.Now()
+		res, err := r.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		res.Table.Fprint(os.Stdout)
+		fmt.Printf("  (%s finished in %v wall time)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,73 @@
+// Command datagen writes a calibrated synthetic workload stream (the
+// vdbench stand-in of the paper's evaluation) to a file or stdout. The
+// stream's deduplication and compression ratios are calibrated against this
+// repository's actual chunker and LZSS encoder, so a pipeline run over the
+// output observes the requested ratios.
+//
+// Usage:
+//
+//	datagen -mb 256 -dedup 2.0 -comp 2.0 [-chunk 4096] [-recent]
+//	        [-seed 1] [-o FILE]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"inlinered"
+)
+
+func main() {
+	mb := flag.Int64("mb", 256, "stream size in MiB")
+	dd := flag.Float64("dedup", 2.0, "dedup ratio (total/unique), >= 1")
+	cr := flag.Float64("comp", 2.0, "compression ratio per unique chunk, >= 1")
+	chunkSize := flag.Int("chunk", 4096, "chunk size in bytes")
+	recent := flag.Bool("recent", false, "bias duplicate references toward recent chunks")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("o", "-", "output file ('-' = stdout)")
+	flag.Parse()
+
+	stream, err := inlinered.NewStream(inlinered.StreamSpec{
+		TotalBytes:       *mb << 20,
+		ChunkSize:        *chunkSize,
+		DedupRatio:       *dd,
+		CompressionRatio: *cr,
+		TemporalLocality: *recent,
+		Seed:             *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	n, err := io.Copy(bw, stream)
+	if err != nil {
+		fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "datagen: wrote %d bytes (%d chunks, %d unique)\n",
+		n, stream.Chunks(), stream.UniqueChunks())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

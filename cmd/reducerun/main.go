@@ -1,0 +1,114 @@
+// Command reducerun runs the inline data reduction pipeline over a workload
+// (a file, or a generated stream) on the simulated paper platform and
+// prints the run report.
+//
+// Usage:
+//
+//	reducerun [-mode cpu-only|gpu-dedup|gpu-compress|gpu-both|auto]
+//	          [-in FILE | -mb N -dedup R -comp R] [-chunk N]
+//	          [-no-dedup] [-no-compress] [-destage] [-seed N]
+//
+// With -mode auto, the dummy-I/O calibration pass of §4(3) picks the
+// fastest integration option for the platform first.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"inlinered"
+)
+
+func main() {
+	mode := flag.String("mode", "auto", "integration mode: cpu-only, gpu-dedup, gpu-compress, gpu-both, auto")
+	in := flag.String("in", "", "input file (default: generated stream)")
+	mb := flag.Int64("mb", 256, "generated stream size in MiB")
+	dd := flag.Float64("dedup", 2.0, "generated stream dedup ratio")
+	cr := flag.Float64("comp", 2.0, "generated stream compression ratio")
+	chunkSize := flag.Int("chunk", 4096, "chunk size in bytes")
+	noDedup := flag.Bool("no-dedup", false, "disable deduplication")
+	noCompress := flag.Bool("no-compress", false, "disable compression")
+	destage := flag.Bool("destage", false, "include SSD destage completion in the makespan")
+	seed := flag.Int64("seed", 1, "workload seed")
+	noGPU := flag.Bool("no-gpu", false, "run on a platform without a GPU")
+	qlz := flag.Bool("qlz", false, "use the QuickLZ-class CPU codec instead of LZSS")
+	bypass := flag.Bool("entropy-bypass", false, "store high-entropy chunks raw without compressing")
+	cdc := flag.Bool("cdc", false, "content-defined (Gear) chunking instead of fixed-size")
+	flag.Parse()
+
+	plat := inlinered.PaperPlatform()
+	if *noGPU {
+		plat = inlinered.CPUOnlyPlatform()
+	}
+	opts := inlinered.Options{
+		DisableDedup:       *noDedup,
+		DisableCompression: *noCompress,
+		ChunkSize:          *chunkSize,
+		IncludeDestage:     *destage,
+		QuickLZ:            *qlz,
+		EntropyBypass:      *bypass,
+		ContentDefined:     *cdc,
+	}
+
+	switch *mode {
+	case "cpu-only":
+		opts.Mode = inlinered.CPUOnly
+	case "gpu-dedup":
+		opts.Mode = inlinered.GPUDedup
+	case "gpu-compress":
+		opts.Mode = inlinered.GPUCompress
+	case "gpu-both":
+		opts.Mode = inlinered.GPUBoth
+	case "auto":
+		res, err := inlinered.Calibrate(plat, opts, 0)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Mode = res.Best
+		fmt.Printf("calibration picked %s:\n", res.Best)
+		for _, m := range inlinered.Modes {
+			if r, ok := res.Reports[m]; ok {
+				fmt.Printf("  %-12s %10.0f IOPS\n", m, r.IOPS)
+			}
+		}
+		fmt.Println()
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	var src io.Reader
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	} else {
+		stream, err := inlinered.NewStream(inlinered.StreamSpec{
+			TotalBytes:       *mb << 20,
+			ChunkSize:        *chunkSize,
+			DedupRatio:       *dd,
+			CompressionRatio: *cr,
+			Seed:             *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		src = stream
+		fmt.Printf("generated stream: %d MiB, dedup %.1f, compression %.1f, seed %d\n\n", *mb, *dd, *cr, *seed)
+	}
+
+	rep, err := inlinered.Run(plat, opts, src)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reducerun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command tracerun replays a block-I/O trace through the deduplicating,
+// compressing volume and reports virtual latencies and space accounting.
+// Traces come from a file (the text format of internal/trace) or from the
+// built-in synthesizer.
+//
+// Usage:
+//
+//	tracerun -in trace.txt                        # replay a trace file
+//	tracerun -ops 20000 -blocks 4096 -hotspot .8  # synthesize and replay
+//	tracerun -ops 10000 -emit trace.txt           # synthesize, save, replay
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"inlinered/internal/trace"
+	"inlinered/internal/volume"
+)
+
+func main() {
+	in := flag.String("in", "", "trace file to replay (empty = synthesize)")
+	emit := flag.String("emit", "", "also write the synthesized trace to this file")
+	ops := flag.Int("ops", 20000, "synthesized operations")
+	blocks := flag.Int64("blocks", 4096, "LBA space in blocks")
+	writeFrac := flag.Float64("writes", 0.6, "write fraction")
+	trimFrac := flag.Float64("trims", 0.05, "trim fraction")
+	dd := flag.Float64("dedup", 2.0, "writes per distinct content")
+	hotspot := flag.Float64("hotspot", 0.5, "fraction of ops on the hot 10% of blocks")
+	cleanEvery := flag.Int("clean-every", 4096, "run the segment cleaner every N ops (0 = never)")
+	seed := flag.Int64("seed", 1, "seed")
+	noCompress := flag.Bool("no-compress", false, "disable compression")
+	flag.Parse()
+
+	var recs []trace.Record
+	var err error
+	if *in != "" {
+		f, err2 := os.Open(*in)
+		if err2 != nil {
+			fatal(err2)
+		}
+		recs, err = trace.Read(f)
+		f.Close()
+	} else {
+		recs, err = trace.Synthesize(trace.SynthSpec{
+			Ops: *ops, Blocks: *blocks, WriteFrac: *writeFrac, TrimFrac: *trimFrac,
+			DedupRatio: *dd, Hotspot: *hotspot, Seed: *seed,
+		})
+		if err == nil && *emit != "" {
+			f, err2 := os.Create(*emit)
+			if err2 != nil {
+				fatal(err2)
+			}
+			if err2 := trace.Write(f, recs); err2 != nil {
+				fatal(err2)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "tracerun: wrote %d records to %s\n", len(recs), *emit)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := volume.DefaultConfig()
+	cfg.Blocks = *blocks
+	cfg.Compress = !*noCompress
+	vol, err := volume.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := trace.Replay(vol, recs, cfg, trace.ReplayOptions{CleanEvery: *cleanEvery, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracerun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// File-server scenario: a mixed primary storage workload — moderate
+// deduplication, a spread of compressibility classes (documents, media,
+// binaries) — processed as a sequence of datasets through one pipeline
+// whose index persists across them. Demonstrates per-dataset reporting on
+// the public API and how compressibility moves throughput (§4(2)'s
+// observation that compression throughput rises with the ratio).
+//
+//	go run ./examples/fileserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"inlinered"
+)
+
+func main() {
+	datasets := []struct {
+		name string
+		spec inlinered.StreamSpec
+	}{
+		{"home-dirs (docs, compressible)", inlinered.StreamSpec{
+			TotalBytes: 48 << 20, DedupRatio: 2.0, CompressionRatio: 3.0, Seed: 11}},
+		{"build-trees (binaries, mixed)", inlinered.StreamSpec{
+			TotalBytes: 48 << 20, DedupRatio: 1.5, CompressionRatio: 1.8, Seed: 12}},
+		{"media (already compressed)", inlinered.StreamSpec{
+			TotalBytes: 48 << 20, DedupRatio: 1.1, CompressionRatio: 1.0, Seed: 13}},
+	}
+
+	fmt.Println("file server on the paper platform, GPU-for-compression integration")
+	fmt.Println()
+	fmt.Printf("%-34s %10s %9s %9s %10s %11s\n",
+		"dataset", "IOPS", "dedup", "comp", "reduction", "stored MiB")
+
+	var totalIn, totalStored int64
+	for _, ds := range datasets {
+		stream, err := inlinered.NewStream(ds.spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := inlinered.Run(inlinered.PaperPlatform(), inlinered.Options{
+			Mode: inlinered.GPUCompress,
+		}, stream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalIn += rep.Bytes
+		totalStored += rep.StoredBytes
+		fmt.Printf("%-34s %10.0f %8.2fx %8.2fx %9.2fx %11.1f\n",
+			ds.name, rep.IOPS, rep.DedupRatio, rep.CompRatio, rep.ReductionRatio,
+			float64(rep.StoredBytes)/(1<<20))
+	}
+
+	fmt.Println()
+	fmt.Printf("total: %.0f MiB ingested, %.1f MiB stored (%.2fx overall reduction)\n",
+		float64(totalIn)/(1<<20), float64(totalStored)/(1<<20),
+		float64(totalIn)/float64(totalStored))
+	fmt.Println("note how the incompressible media dataset still dedups, and how the")
+	fmt.Println("compressible one runs fastest — the §4(2) effect.")
+}

@@ -1,0 +1,3 @@
+module inlinered
+
+go 1.22

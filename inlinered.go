@@ -1,0 +1,198 @@
+// Package inlinered is a reproduction of "Parallelizing Inline Data
+// Reduction Operations for Primary Storage Systems" (Ma & Park, PaCT 2017):
+// an inline deduplication + LZSS compression pipeline for SSD-backed
+// primary storage, parallelized across a multi-core CPU and a GPU.
+//
+// The public API wraps the integrated engine (internal/core) and the
+// calibrated workload generator (internal/workload). A typical run:
+//
+//	stream, _ := inlinered.NewStream(inlinered.StreamSpec{
+//		TotalBytes: 256 << 20, DedupRatio: 2, CompressionRatio: 2,
+//	})
+//	report, _ := inlinered.Run(inlinered.PaperPlatform(), inlinered.Options{
+//		Mode: inlinered.GPUCompress,
+//	}, stream)
+//	fmt.Println(report)
+//
+// Everything runs on a deterministic virtual clock: the data plane (SHA-1
+// fingerprints, the bin-based index, the LZSS codec) computes real results,
+// while the CPU, GPU (SIMT + PCIe + kernel-launch costs), and SSD are
+// simulated resources calibrated to the paper's testbed. See DESIGN.md for
+// the substitution statement.
+package inlinered
+
+import (
+	"io"
+
+	"inlinered/internal/core"
+	"inlinered/internal/lz"
+	"inlinered/internal/workload"
+)
+
+// Mode selects which data reduction operation owns the GPU — the four
+// integration options of the paper's §4(3).
+type Mode = core.Mode
+
+// The four integration options, in the paper's presentation order.
+const (
+	CPUOnly     = core.CPUOnly
+	GPUDedup    = core.GPUDedup
+	GPUCompress = core.GPUCompress
+	GPUBoth     = core.GPUBoth
+)
+
+// Modes lists the four integration options.
+var Modes = core.Modes
+
+// Platform describes the simulated hardware (CPU, GPU, SSD).
+type Platform = core.Platform
+
+// PaperPlatform returns the published testbed: an i7-3770K-class CPU, a
+// Radeon HD 7970-class GPU, and an SSD 830-class drive (~80 K 4 KB-write
+// IOPS — the baseline line in every figure).
+func PaperPlatform() Platform { return core.PaperPlatform() }
+
+// CPUOnlyPlatform returns the paper testbed without its GPU.
+func CPUOnlyPlatform() Platform { return core.CPUOnlyPlatform() }
+
+// WeakGPUPlatform returns a platform whose GPU is slow enough that
+// calibration should route both operations to the CPU.
+func WeakGPUPlatform() Platform { return core.WeakGPUPlatform() }
+
+// Options tunes a pipeline run. The zero value is not valid; start from
+// DefaultOptions (or leave fields zero in Run, which fills defaults).
+type Options struct {
+	// Mode is the integration option (default CPUOnly; use Calibrate to
+	// pick the best one for a platform the way the paper's dummy-I/O pass
+	// does).
+	Mode Mode
+	// DisableDedup / DisableCompression switch off one reduction operation
+	// (the paper's §4(1) and §4(2) run them in isolation).
+	DisableDedup       bool
+	DisableCompression bool
+	// ChunkSize is the reduction unit; 0 means the paper's 4 KB.
+	ChunkSize int
+	// IncludeDestage counts SSD destage completion in the makespan.
+	IncludeDestage bool
+	// Verify retains stored blobs so the run can be checked bit-for-bit
+	// against the source stream (memory-proportional; for tests).
+	Verify bool
+	// QuickLZ selects the QuickLZ-class CPU codec (the paper's baseline
+	// family) instead of the default hash-chain LZSS.
+	QuickLZ bool
+	// EntropyBypass stores high-entropy (incompressible) chunks raw
+	// without running the encoder.
+	EntropyBypass bool
+	// ContentDefined switches chunking from fixed-size to the Gear
+	// content-defined chunker.
+	ContentDefined bool
+}
+
+// Report summarizes a run: throughput (IOPS of chunk-sized writes and
+// bytes/s of virtual time), achieved reduction ratios, duplicate-hit
+// breakdown, resource utilizations, and SSD accounting.
+type Report = core.Report
+
+// Engine is a configured single-use pipeline.
+type Engine struct {
+	inner *core.Engine
+}
+
+// config converts Options into the internal configuration.
+func (o Options) config() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Mode = o.Mode
+	cfg.Dedup = !o.DisableDedup
+	cfg.Compress = !o.DisableCompression
+	if o.ChunkSize > 0 {
+		cfg.ChunkSize = o.ChunkSize
+	}
+	cfg.IncludeDestage = o.IncludeDestage
+	cfg.Verify = o.Verify
+	if o.QuickLZ {
+		cfg.Codec = lz.CodecQLZ
+	}
+	cfg.SkipIncompressible = o.EntropyBypass
+	if o.ContentDefined {
+		cfg.Chunker = core.CDCChunking
+	}
+	return cfg
+}
+
+// NewEngine builds a pipeline for one run.
+func NewEngine(plat Platform, opts Options) (*Engine, error) {
+	inner, err := core.NewEngine(plat, opts.config())
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: inner}, nil
+}
+
+// Process runs the stream through the pipeline and reports the results.
+func (e *Engine) Process(r io.Reader) (*Report, error) { return e.inner.Process(r) }
+
+// Verify re-reads the original stream and checks that every chunk is
+// reconstructable from what the pipeline stored. Requires Options.Verify.
+func (e *Engine) Verify(r io.Reader) error { return e.inner.VerifyAgainst(r) }
+
+// Run is the one-call convenience: build an engine, process the stream,
+// return the report.
+func Run(plat Platform, opts Options, r io.Reader) (*Report, error) {
+	eng, err := NewEngine(plat, opts)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Process(r)
+}
+
+// CalibrationResult reports the dummy-I/O calibration pass of §4(3).
+type CalibrationResult = core.CalibrationResult
+
+// Calibrate measures every integration option the platform supports on a
+// short dummy stream and returns the fastest, as the paper prescribes for
+// unknown platforms. sampleBytes <= 0 selects a 64 MiB dummy stream.
+func Calibrate(plat Platform, opts Options, sampleBytes int64) (*CalibrationResult, error) {
+	if sampleBytes <= 0 {
+		sampleBytes = 64 << 20
+	}
+	return core.Calibrate(plat, opts.config(), sampleBytes)
+}
+
+// StreamSpec describes a synthetic workload stream (the vdbench stand-in):
+// both knobs the paper's evaluation uses, calibrated against this
+// repository's actual LZSS encoder.
+type StreamSpec struct {
+	TotalBytes       int64   // stream length (whole chunks)
+	ChunkSize        int     // 0 means 4 KB
+	DedupRatio       float64 // total/unique bytes; 0 means 1.0 (all unique)
+	CompressionRatio float64 // LZSS ratio per unique chunk; 0 means 1.0
+	TemporalLocality bool    // bias duplicate references toward recent chunks
+	Seed             int64
+}
+
+// Stream is a deterministic synthetic workload (io.Reader).
+type Stream = workload.Stream
+
+// NewStream builds a calibrated workload stream.
+func NewStream(spec StreamSpec) (*Stream, error) {
+	ws := workload.Spec{
+		TotalBytes: spec.TotalBytes,
+		ChunkSize:  spec.ChunkSize,
+		DedupRatio: spec.DedupRatio,
+		CompRatio:  spec.CompressionRatio,
+		Seed:       spec.Seed,
+	}
+	if ws.ChunkSize == 0 {
+		ws.ChunkSize = 4096
+	}
+	if ws.DedupRatio == 0 {
+		ws.DedupRatio = 1.0
+	}
+	if ws.CompRatio == 0 {
+		ws.CompRatio = 1.0
+	}
+	if spec.TemporalLocality {
+		ws.Pattern = workload.RefRecent
+	}
+	return workload.New(ws)
+}

@@ -1,0 +1,154 @@
+package inlinered
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunQuickstart(t *testing.T) {
+	stream, err := NewStream(StreamSpec{TotalBytes: 8 << 20, DedupRatio: 2, CompressionRatio: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(PaperPlatform(), Options{Mode: GPUCompress, Verify: true}, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Chunks == 0 || rep.IOPS <= 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	if math.Abs(rep.DedupRatio-2.0) > 0.2 {
+		t.Fatalf("dedup ratio %g", rep.DedupRatio)
+	}
+}
+
+func TestEngineVerify(t *testing.T) {
+	stream, _ := NewStream(StreamSpec{TotalBytes: 4 << 20, DedupRatio: 2, CompressionRatio: 2, Seed: 2})
+	eng, err := NewEngine(PaperPlatform(), Options{Mode: CPUOnly, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Process(stream); err != nil {
+		t.Fatal(err)
+	}
+	stream.Reset()
+	if err := eng.Verify(stream); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionsDisableOperations(t *testing.T) {
+	stream, _ := NewStream(StreamSpec{TotalBytes: 4 << 20, DedupRatio: 3, CompressionRatio: 2, Seed: 3})
+	rep, err := Run(PaperPlatform(), Options{DisableDedup: true}, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DupChunks != 0 {
+		t.Fatal("dedup disabled but duplicates found")
+	}
+	if _, err := Run(PaperPlatform(), Options{DisableDedup: true, DisableCompression: true}, stream); err == nil {
+		t.Fatal("both operations off should error")
+	}
+}
+
+func TestCalibrateOnWeakGPU(t *testing.T) {
+	res, err := Calibrate(WeakGPUPlatform(), Options{}, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A weak GPU must not win the calibration for compression.
+	if res.Best == GPUCompress || res.Best == GPUBoth {
+		for m, r := range res.Reports {
+			t.Logf("%s: %.0f IOPS", m, r.IOPS)
+		}
+		t.Fatalf("weak GPU platform picked %s", res.Best)
+	}
+}
+
+func TestStreamSpecDefaults(t *testing.T) {
+	s, err := NewStream(StreamSpec{TotalBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Spec().ChunkSize != 4096 || s.Spec().DedupRatio != 1.0 || s.Spec().CompRatio != 1.0 {
+		t.Fatalf("defaults not applied: %+v", s.Spec())
+	}
+}
+
+func TestTemporalLocalityOption(t *testing.T) {
+	s, err := NewStream(StreamSpec{TotalBytes: 2 << 20, DedupRatio: 3, TemporalLocality: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Chunks() == 0 {
+		t.Fatal("no chunks")
+	}
+}
+
+func TestExtensionOptions(t *testing.T) {
+	stream, _ := NewStream(StreamSpec{TotalBytes: 4 << 20, DedupRatio: 2, CompressionRatio: 2, Seed: 5})
+	rep, err := Run(PaperPlatform(), Options{QuickLZ: true, EntropyBypass: true, Verify: true}, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CompRatio < 1.5 {
+		t.Fatalf("qlz run ratio %g", rep.CompRatio)
+	}
+	stream2, _ := NewStream(StreamSpec{TotalBytes: 4 << 20, DedupRatio: 2, CompressionRatio: 2, Seed: 5})
+	eng, err := NewEngine(PaperPlatform(), Options{ContentDefined: true, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := eng.Process(stream2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Chunks == int64(stream2.Chunks()) {
+		t.Fatal("CDC should produce a different chunk count than fixed 4K")
+	}
+	stream2.Reset()
+	if err := eng.Verify(stream2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockDevice(t *testing.T) {
+	dev, err := NewBlockDevice(BlockDeviceOptions{Blocks: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i % 7)
+	}
+	if _, err := dev.Write(3, data); err != nil {
+		t.Fatal(err)
+	}
+	got, lat, err := dev.Read(3)
+	if err != nil || lat <= 0 {
+		t.Fatalf("read: %v lat=%v", err, lat)
+	}
+	for i := range got {
+		if got[i] != data[i] {
+			t.Fatal("round trip mismatch")
+		}
+	}
+	if _, err := dev.Write(4, data); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Stats().DedupHits != 1 {
+		t.Fatalf("dedup hits: %d", dev.Stats().DedupHits)
+	}
+	if err := dev.Trim(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Clean(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Now() <= 0 {
+		t.Fatal("clock should advance")
+	}
+	if _, err := NewBlockDevice(BlockDeviceOptions{BlockSize: 8}); err == nil {
+		t.Fatal("bad block size should be rejected")
+	}
+}

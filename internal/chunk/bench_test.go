@@ -1,0 +1,33 @@
+package chunk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func benchData() []byte {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	return data
+}
+
+func BenchmarkFixed4K(b *testing.B) {
+	data := benchData()
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Split(NewFixed(bytes.NewReader(data), 4096)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGearCDC(b *testing.B) {
+	data := benchData()
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Split(NewGear(bytes.NewReader(data), DefaultGearConfig())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

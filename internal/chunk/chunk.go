@@ -1,0 +1,194 @@
+// Package chunk implements the chunking stage of the deduplication pipeline:
+// breaking a write stream into the fixed-size chunks primary storage systems
+// deduplicate at (4 KB in the paper's evaluation, 8 KB in its index-sizing
+// analysis), plus a content-defined chunker (Gear rolling hash) for
+// workloads where shifted content would defeat fixed boundaries.
+package chunk
+
+import (
+	"fmt"
+	"io"
+)
+
+// Chunk is one unit of deduplication: a byte range of the input stream.
+type Chunk struct {
+	Data   []byte // chunk payload; owned by the caller after Next returns
+	Offset int64  // byte offset of the chunk in the stream
+}
+
+// Chunker splits a stream into chunks. Next returns io.EOF after the final
+// chunk has been returned.
+type Chunker interface {
+	// Next returns the next chunk. The returned Data is a fresh slice the
+	// caller may retain.
+	Next() (Chunk, error)
+}
+
+// Fixed is a fixed-size chunker. The final chunk of a stream may be
+// shorter than the chunk size.
+type Fixed struct {
+	r      io.Reader
+	size   int
+	offset int64
+	done   bool
+}
+
+// NewFixed returns a fixed-size chunker over r. It panics if size < 1.
+func NewFixed(r io.Reader, size int) *Fixed {
+	if size < 1 {
+		panic(fmt.Sprintf("chunk: fixed chunk size must be >= 1, got %d", size))
+	}
+	return &Fixed{r: r, size: size}
+}
+
+// Next returns the next fixed-size chunk.
+func (f *Fixed) Next() (Chunk, error) {
+	if f.done {
+		return Chunk{}, io.EOF
+	}
+	buf := make([]byte, f.size)
+	n, err := io.ReadFull(f.r, buf)
+	switch err {
+	case nil:
+	case io.ErrUnexpectedEOF:
+		f.done = true
+	case io.EOF:
+		f.done = true
+		return Chunk{}, io.EOF
+	default:
+		return Chunk{}, err
+	}
+	c := Chunk{Data: buf[:n], Offset: f.offset}
+	f.offset += int64(n)
+	return c, nil
+}
+
+// GearConfig parameterizes the content-defined chunker.
+type GearConfig struct {
+	Min  int // minimum chunk size; boundaries are suppressed before this
+	Avg  int // target average chunk size; must be a power of two
+	Max  int // hard maximum chunk size
+	Seed uint64
+}
+
+// DefaultGearConfig targets 4 KB average chunks with 2 KB/16 KB bounds.
+func DefaultGearConfig() GearConfig {
+	return GearConfig{Min: 2 << 10, Avg: 4 << 10, Max: 16 << 10, Seed: 0x9E3779B97F4A7C15}
+}
+
+// Gear is a content-defined chunker using the Gear rolling hash: at each
+// byte, hash = hash<<1 + table[b]; a boundary is declared when the top bits
+// selected by the average-size mask are all zero. Identical content
+// therefore produces identical boundaries regardless of its position in the
+// stream.
+type Gear struct {
+	cfg    GearConfig
+	table  [256]uint64
+	mask   uint64
+	r      io.Reader
+	buf    []byte // unconsumed read-ahead
+	offset int64
+	eof    bool
+}
+
+// NewGear returns a content-defined chunker over r. It panics if the
+// configuration is inconsistent (Min > Avg, Avg > Max, or Avg not a power
+// of two).
+func NewGear(r io.Reader, cfg GearConfig) *Gear {
+	if cfg.Min < 1 || cfg.Min > cfg.Avg || cfg.Avg > cfg.Max {
+		panic(fmt.Sprintf("chunk: need 1 <= Min <= Avg <= Max, got %+v", cfg))
+	}
+	if cfg.Avg&(cfg.Avg-1) != 0 {
+		panic(fmt.Sprintf("chunk: Avg must be a power of two, got %d", cfg.Avg))
+	}
+	g := &Gear{cfg: cfg, r: r}
+	// The mask selects log2(Avg) bits in the high half of the hash so the
+	// expected distance between boundaries is Avg.
+	bits := 0
+	for v := cfg.Avg; v > 1; v >>= 1 {
+		bits++
+	}
+	g.mask = ((1 << bits) - 1) << (64 - bits)
+	// Deterministic pseudo-random gear table (splitmix64).
+	s := cfg.Seed
+	for i := range g.table {
+		s += 0x9E3779B97F4A7C15
+		z := s
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		g.table[i] = z ^ (z >> 31)
+	}
+	return g
+}
+
+// Next returns the next content-defined chunk.
+func (g *Gear) Next() (Chunk, error) {
+	if err := g.fill(g.cfg.Max); err != nil {
+		return Chunk{}, err
+	}
+	if len(g.buf) == 0 {
+		return Chunk{}, io.EOF
+	}
+	cut := g.findBoundary(g.buf)
+	data := make([]byte, cut)
+	copy(data, g.buf[:cut])
+	g.buf = g.buf[cut:]
+	c := Chunk{Data: data, Offset: g.offset}
+	g.offset += int64(cut)
+	return c, nil
+}
+
+// findBoundary returns the cut point for the front of buf.
+func (g *Gear) findBoundary(buf []byte) int {
+	n := len(buf)
+	if n <= g.cfg.Min {
+		return n
+	}
+	limit := n
+	if limit > g.cfg.Max {
+		limit = g.cfg.Max
+	}
+	var h uint64
+	// The hash still rolls over the pre-Min prefix so the boundary decision
+	// depends only on content, but no cut is declared before Min.
+	for i := 0; i < limit; i++ {
+		h = h<<1 + g.table[buf[i]]
+		if i+1 >= g.cfg.Min && h&g.mask == 0 {
+			return i + 1
+		}
+	}
+	return limit
+}
+
+// fill tops the read-ahead buffer up to want bytes (or EOF).
+func (g *Gear) fill(want int) error {
+	for len(g.buf) < want && !g.eof {
+		tmp := make([]byte, want-len(g.buf))
+		n, err := g.r.Read(tmp)
+		g.buf = append(g.buf, tmp[:n]...)
+		if err == io.EOF {
+			g.eof = true
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Split is a convenience that runs a chunker to completion and returns all
+// chunks. Intended for tests and small inputs.
+func Split(c Chunker) ([]Chunk, error) {
+	var out []Chunk
+	for {
+		ch, err := c.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ch)
+	}
+}

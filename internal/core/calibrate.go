@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"inlinered/internal/workload"
+)
+
+// CalibrationResult records the dummy-I/O pass of §4(3): the measured
+// throughput of every integration option on this platform.
+type CalibrationResult struct {
+	Best    Mode
+	Reports map[Mode]*Report
+}
+
+// Calibrate runs a short dummy-I/O stream through every integration option
+// the platform supports and returns the fastest, exactly as the paper's
+// final paragraph prescribes: "before assigning processors to each data
+// reduction operation, the performance of these integration methods is
+// compared using dummy I/O to determine the best fit for throughput.
+// Therefore, we can ensure the best performance even if the target platform
+// is different."
+//
+// sampleBytes controls the dummy stream length (64 MiB is plenty to rank
+// the options); the stream mirrors the configured chunk size with the
+// common 2.0/2.0 reduction ratios.
+func Calibrate(plat Platform, cfg Config, sampleBytes int64) (*CalibrationResult, error) {
+	if sampleBytes < int64(cfg.ChunkSize)*64 {
+		sampleBytes = int64(cfg.ChunkSize) * 64
+	}
+	res := &CalibrationResult{Reports: make(map[Mode]*Report)}
+	best := -1.0
+	for _, m := range Modes {
+		mcfg := cfg
+		mcfg.Mode = m
+		mcfg.Verify = false
+		needGPU := (mcfg.Dedup && m.UsesGPUDedup()) || (mcfg.Compress && m.UsesGPUCompress())
+		if needGPU && !plat.HasGPU {
+			continue
+		}
+		stream, err := workload.New(workload.Spec{
+			TotalBytes: sampleBytes,
+			ChunkSize:  cfg.ChunkSize,
+			DedupRatio: 2.0,
+			CompRatio:  2.0,
+			Seed:       42,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: calibration stream: %w", err)
+		}
+		eng, err := NewEngine(plat, mcfg)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := eng.Process(stream)
+		if err != nil {
+			return nil, fmt.Errorf("core: calibrating %s: %w", m, err)
+		}
+		res.Reports[m] = rep
+		if rep.IOPS > best {
+			best = rep.IOPS
+			res.Best = m
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("core: no integration option is runnable on this platform")
+	}
+	return res, nil
+}

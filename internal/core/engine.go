@@ -1,0 +1,752 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"inlinered/internal/chunk"
+	"inlinered/internal/cpusim"
+	"inlinered/internal/dedup"
+	"inlinered/internal/gpu"
+	"inlinered/internal/lz"
+	"inlinered/internal/sim"
+	"inlinered/internal/ssd"
+)
+
+// Engine runs the integrated inline data reduction pipeline of Figure 1
+// over one write stream. An Engine is single-use: build one per run with
+// NewEngine, call Process once, then read the Report. It is not safe for
+// concurrent use.
+type Engine struct {
+	plat  Platform
+	cfg   Config
+	cpu   *cpusim.CPU
+	dev   *gpu.Device
+	drive *ssd.Drive
+	index *dedup.BinIndex
+	gbins *dedup.GPUBins
+
+	dataCursor   int64 // next free data byte (blobs pack into pages log-structured)
+	dataLimit    int64 // data region size in bytes
+	journalBase  int64 // first page of the journal region
+	journalCur   int64
+	journalLimit int64
+
+	pendGPU  []gpuPending // unique chunks awaiting a GPU compression kernel
+	retired  []retiredBatch
+	inflight map[dedup.Fingerprint]*inflightRef
+
+	journal *dedup.JournalWriter // durable image of every bin-buffer flush
+
+	rep   Report
+	ran   bool
+	blobs map[int64][]byte // loc -> stored blob (Verify only)
+	locs  []int64          // per chunk -> loc of its stored content (Verify only)
+}
+
+// gpuPending is one unique chunk queued for the GPU compression kernel.
+type gpuPending struct {
+	data  []byte
+	fp    dedup.Fingerprint
+	ready time.Duration // index decision completed
+	idx   int64         // stream chunk index (Verify bookkeeping)
+}
+
+// retiredBatch is a GPU compression batch whose kernel has completed at
+// virtual time t; its CPU post-processing is scheduled once the CPU
+// frontier catches up, so the commit order matches the virtual-time order.
+type retiredBatch struct {
+	t     time.Duration
+	pend  []gpuPending
+	blobs [][]byte
+}
+
+// inflightRef tracks a unique chunk between its index miss and its index
+// insert (the dedup-before-compression window of Figure 1: the bin buffer
+// is only updated after compression). Later occurrences of the same
+// fingerprint inside that window are duplicates of a chunk that has no
+// location yet.
+type inflightRef struct {
+	waiters []int64 // chunk indices awaiting the location (Verify only)
+}
+
+// NewEngine builds a pipeline for the platform and configuration.
+func NewEngine(plat Platform, cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	needGPU := (cfg.Dedup && cfg.Mode.UsesGPUDedup()) || (cfg.Compress && cfg.Mode.UsesGPUCompress())
+	if needGPU && !plat.HasGPU {
+		return nil, fmt.Errorf("core: mode %s needs a GPU but the platform has none", cfg.Mode)
+	}
+	e := &Engine{plat: plat, cfg: cfg}
+	e.cpu = cpusim.New(plat.CPU)
+	e.drive = ssd.New(plat.SSD)
+	if plat.HasGPU && needGPU {
+		e.dev = gpu.New(plat.GPU)
+	}
+	if cfg.Dedup {
+		idx, err := dedup.NewBinIndex(cfg.Index)
+		if err != nil {
+			return nil, err
+		}
+		e.index = idx
+		e.journal = dedup.NewJournalWriter(cfg.Index.PrefixBytes)
+		if cfg.Mode.UsesGPUDedup() {
+			if cfg.GPUBinBits > cfg.Index.BinBits {
+				return nil, fmt.Errorf("core: GPU bins (%d bits) must be no finer than CPU bins (%d bits) so one flush lands in one GPU bin",
+					cfg.GPUBinBits, cfg.Index.BinBits)
+			}
+			g, err := dedup.NewGPUBins(e.dev, cfg.GPUBinBits, cfg.GPUBinCap, cfg.Index.PrefixBytes, 1)
+			if err != nil {
+				return nil, err
+			}
+			e.gbins = g
+		}
+	}
+	// Carve the journal region out of the top of the logical space.
+	logical := e.drive.LogicalPages()
+	reserve := logical / 16
+	if reserve < 1 {
+		reserve = 1
+	}
+	e.journalBase = logical - reserve
+	e.journalCur = e.journalBase
+	e.journalLimit = logical
+	e.dataLimit = e.journalBase * int64(e.drive.PageSize)
+	if cfg.Verify {
+		e.blobs = make(map[int64][]byte)
+	}
+	e.inflight = make(map[dedup.Fingerprint]*inflightRef)
+	e.rep.Mode = cfg.Mode
+	return e, nil
+}
+
+// Drive exposes the engine's SSD for post-run inspection (endurance
+// experiments).
+func (e *Engine) Drive() *ssd.Drive { return e.drive }
+
+// Index exposes the engine's CPU bin index for post-run inspection.
+func (e *Engine) Index() *dedup.BinIndex { return e.index }
+
+// JournalImage returns the serialized index journal — the durable form of
+// every bin-buffer flush the run wrote to the SSD's journal region.
+func (e *Engine) JournalImage() []byte {
+	if e.journal == nil {
+		return nil
+	}
+	return e.journal.Bytes()
+}
+
+// RecoverIndex replays the run's journal into a fresh index — what a
+// restart after a crash would reconstruct. Entries still in bin buffers at
+// the crash point (never journaled) are absent; their future duplicates
+// would be stored again, the memory-only-index tradeoff of §3.1.
+func (e *Engine) RecoverIndex() (*dedup.BinIndex, error) {
+	if e.journal == nil {
+		return nil, fmt.Errorf("core: no journal: deduplication disabled")
+	}
+	return dedup.ReplayJournal(e.journal.Bytes(), e.cfg.Index)
+}
+
+// Process runs the whole stream through the pipeline and returns the run
+// report. It may be called once per Engine.
+func (e *Engine) Process(r io.Reader) (*Report, error) {
+	if e.ran {
+		return nil, fmt.Errorf("core: Engine.Process is single-use; build a new Engine")
+	}
+	e.ran = true
+
+	// Chunking/hashing has no dependency on anything downstream, so batch
+	// N+1's hashing is scheduled before batch N's indexing and compression:
+	// this keeps the virtual CPU pool work-conserving, the way an open-loop
+	// pipeline with a full input queue behaves on real hardware.
+	var ck chunk.Chunker
+	if e.cfg.Chunker == CDCChunking {
+		ck = chunk.NewGear(r, e.cfg.Gear)
+	} else {
+		ck = chunk.NewFixed(r, e.cfg.ChunkSize)
+	}
+	var window []*hashedBatch
+	batch := make([][]byte, 0, e.cfg.Batch)
+	for {
+		c, err := ck.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: reading stream: %w", err)
+		}
+		batch = append(batch, c.Data)
+		if len(batch) == e.cfg.Batch {
+			window = append(window, e.hashBatch(batch))
+			batch = make([][]byte, 0, e.cfg.Batch)
+			if len(window) > e.cfg.Lookahead {
+				// Screen the batch that will be processed next while this
+				// one runs: the GPU round trip hides behind one batch of
+				// CPU work, and the device snapshot is at most one batch
+				// stale.
+				if len(window) > 1 {
+					e.screen(window[1])
+				}
+				if err := e.downstream(window[0]); err != nil {
+					return nil, err
+				}
+				window = window[1:]
+			}
+		}
+	}
+	if len(batch) > 0 {
+		window = append(window, e.hashBatch(batch))
+	}
+	for i, hb := range window {
+		if i+1 < len(window) {
+			e.screen(window[i+1])
+		}
+		if err := e.downstream(hb); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.flushGPUCompress(); err != nil {
+		return nil, err
+	}
+	for len(e.retired) > 0 {
+		if err := e.retireBatch(e.retired[0]); err != nil {
+			return nil, err
+		}
+		e.retired = e.retired[1:]
+	}
+	e.finalFlush()
+	e.finish()
+	return &e.rep, nil
+}
+
+// hashedBatch is a batch that has been through stage 1 (chunk + hash) and,
+// when the GPU owns dedup, GPU screening.
+type hashedBatch struct {
+	chunks  [][]byte
+	fps     []dedup.Fingerprint
+	hashEnd []time.Duration
+	ready   time.Duration // max hash end
+
+	screened  bool
+	ghits     []dedup.GPUHit
+	screenEnd time.Duration
+}
+
+// hashBatch schedules stage 1: chunking + fingerprinting on the CPU pool
+// (no cross-chunk dependency, §3.1 — every hardware thread hashes chunks
+// independently; every chunk "arrives" at time zero, open loop).
+func (e *Engine) hashBatch(chunks [][]byte) *hashedBatch {
+	cost := e.cpu.Cost
+	hb := &hashedBatch{
+		chunks:  chunks,
+		fps:     dedup.ParallelSum(chunks, runtime.NumCPU()),
+		hashEnd: make([]time.Duration, len(chunks)),
+	}
+	for i, c := range chunks {
+		chunkCycles := cost.ChunkCycles(len(c)) + cost.StageOverheadCycles
+		hashCycles := 0.0
+		if e.cfg.Dedup {
+			hashCycles = cost.HashCycles(len(c))
+		}
+		_, hb.hashEnd[i] = e.cpu.Run(0, chunkCycles+hashCycles)
+		hb.ready = sim.MaxTime(hb.ready, hb.hashEnd[i])
+		e.rep.Stages.Chunking += e.seconds(chunkCycles)
+		e.rep.Stages.Hashing += e.seconds(hashCycles)
+	}
+	return hb
+}
+
+// screen runs the GPU batch-indexing round trip for a freshly hashed batch
+// (§3.1(3)): the hashes are on hand long before a CPU worker picks the
+// batch up (the input queue is deep in an open-loop measurement — the
+// paper's "CPU utilization is full" regime), so the GPU prescreens the
+// batch while it waits, unless the GPU itself is backlogged ("we decide to
+// use GPU only when ... there is still some work to do for indexing" — a
+// busy GPU queue means there is not).
+func (e *Engine) screen(hb *hashedBatch) {
+	if e.gbins == nil || hb.screened {
+		return
+	}
+	// Anchor at the later of hash completion and the CPU frontier (the
+	// screening is issued as the previous batch starts processing).
+	// Figure 1's rule: "GPU indexing is performed if the GPU is available"
+	// — a backlogged queue (compression kernels in GPUBoth, or a slow
+	// device) means the batch takes the CPU path instead. This is also
+	// §3.1(3)'s "still some work to do" guard.
+	at := sim.MaxTime(hb.ready, e.cpu.Pool.NextFree())
+	if e.dev.NextFree() > at {
+		return
+	}
+	gdone, ghits, _ := e.gbins.BatchIndex(at, hb.fps)
+	// Host-side result merge: one staging pass over the batch.
+	mergeCycles := e.cpu.Cost.MemcpyCycles(8*len(hb.fps)) + e.cpu.Cost.StageOverheadCycles
+	_, mergeEnd := e.cpu.Run(gdone, mergeCycles)
+	e.rep.Stages.GPUMerge += e.seconds(mergeCycles)
+	hb.screened = true
+	hb.ghits = ghits
+	hb.screenEnd = mergeEnd
+	e.rep.GPUIndexBatches++
+	e.rep.GPUIndexedChunks += int64(len(hb.fps))
+}
+
+// downstream pushes a hashed batch through index → compress → insert/destage.
+func (e *Engine) downstream(hb *hashedBatch) error {
+	if err := e.retireDue(); err != nil {
+		return err
+	}
+	cost := e.cpu.Cost
+	chunks, fps := hb.chunks, hb.fps
+
+	// Stages 2+ run per chunk in stream order: probe (Figure 1: GPU
+	// screening result, bin buffer, bin tree), then for uniques compress →
+	// insert → destage. Running probe and insert in stream order keeps
+	// within-batch duplicates exact: a chunk's probe sees every earlier
+	// chunk's insert (or its in-flight entry while the GPU compressor
+	// holds it).
+	ready := hb.hashEnd
+	if hb.screened {
+		for i := range ready {
+			ready[i] = hb.screenEnd
+		}
+	}
+	for i, c := range chunks {
+		e.rep.Chunks++
+		e.rep.Bytes += int64(len(c))
+		dup := false
+		var dupLoc int64
+		if e.cfg.Dedup {
+			switch {
+			case hb.screened && hb.ghits[i].Found:
+				dup = true
+				dupLoc = hb.ghits[i].Entry.Loc
+				e.rep.DupHitsGPU++
+			default:
+				// A GPU-screened miss can only be a recent (unflushed)
+				// hash: everything the tree holds is mirrored in the GPU
+				// bins, so the CPU checks the bin buffer only. Unscreened
+				// chunks take the full path: bin buffer, then bin tree.
+				var p dedup.Probe
+				if hb.screened {
+					p = e.index.LookupBuffer(fps[i])
+				} else {
+					p = e.index.Lookup(fps[i])
+				}
+				probeCycles := cost.ProbeCycles(p.BufferScanned, p.TreeSteps)
+				_, end := e.cpu.Run(ready[i], probeCycles)
+				ready[i] = end
+				e.rep.Stages.Indexing += e.seconds(probeCycles)
+				if p.Found {
+					dup = true
+					dupLoc = p.Entry.Loc
+					if p.InBuffer {
+						e.rep.DupHitsBuffer++
+					} else {
+						e.rep.DupHitsTree++
+					}
+				}
+			}
+			if !dup {
+				// The chunk may duplicate a unique still in flight to the
+				// GPU compressor (not yet inserted into the index).
+				if ref, ok := e.inflight[fps[i]]; ok {
+					e.rep.DupChunks++
+					e.rep.DupHitsPending++
+					if e.cfg.Verify {
+						ref.waiters = append(ref.waiters, e.rep.Chunks-1)
+						e.locs = append(e.locs, -1)
+					}
+					continue
+				}
+			}
+		}
+		if dup {
+			e.rep.DupChunks++
+			if e.cfg.Verify {
+				e.locs = append(e.locs, dupLoc)
+			}
+			continue
+		}
+		e.rep.UniqueChunks++
+		e.rep.UniqueBytes += int64(len(c))
+		skipCycles := 0.0
+		if e.cfg.Compress && e.cfg.SkipIncompressible {
+			threshold := e.cfg.EntropyThreshold
+			if threshold == 0 {
+				threshold = 7.2
+			}
+			skipCycles = cost.EntropyCycles(len(c))
+			if lz.LikelyIncompressible(c, threshold) {
+				// Bypass: store raw; the histogram pass is the only cost.
+				e.rep.SkippedIncompressible++
+				blob := lz.StoreRaw(nil, c)
+				base := skipCycles + cost.MemcpyCycles(len(blob)) + cost.StageOverheadCycles
+				e.rep.Stages.Compression += e.seconds(base)
+				if err := e.finishUnique(fps[i], blob, ready[i], base, int(e.rep.Chunks-1)); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		if e.cfg.Compress && e.cfg.Mode.UsesGPUCompress() {
+			if e.cfg.Dedup {
+				e.inflight[fps[i]] = &inflightRef{}
+			}
+			e.pendGPU = append(e.pendGPU, gpuPending{data: c, fp: fps[i], ready: ready[i], idx: e.rep.Chunks - 1})
+			if e.cfg.Verify {
+				e.locs = append(e.locs, -1) // patched when the GPU batch retires
+			}
+			if len(e.pendGPU) >= e.cfg.GPUCompressBatch {
+				if err := e.flushGPUCompress(); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		// CPU compression (or raw store when compression is off). The
+		// compress and index-insert work is fused into one CPU job: the
+		// worker thread that compressed the chunk finishes it.
+		var blob []byte
+		var baseCycles float64
+		if e.cfg.Compress {
+			var st lz.Stats
+			blob, st = lz.CompressCodec(e.cfg.Codec, nil, c, e.cfg.LZ)
+			baseCycles = skipCycles + cost.CompressCycles(st.Positions, st.SearchSteps, st.DstBytes) + cost.StageOverheadCycles
+		} else {
+			blob = lz.StoreRaw(nil, c)
+			baseCycles = cost.MemcpyCycles(len(blob)) + cost.StageOverheadCycles
+		}
+		e.rep.Stages.Compression += e.seconds(baseCycles)
+		if err := e.finishUnique(fps[i], blob, ready[i], baseCycles, int(e.rep.Chunks-1)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushGPUCompress launches one GPU compression kernel over the pending
+// unique chunks (§3.2(2)): DMA the chunk batch to the device, run
+// SubBlocks lanes per chunk, DMA the raw lane streams back, and
+// post-process each chunk on the CPU.
+func (e *Engine) flushGPUCompress() error {
+	if len(e.pendGPU) == 0 {
+		return nil
+	}
+	pend := e.pendGPU
+	e.pendGPU = nil
+	gcost := e.dev.Cost
+
+	batchReady := time.Duration(0)
+	srcBytes := 0
+	for _, p := range pend {
+		batchReady = sim.MaxTime(batchReady, p.ready)
+		srcBytes += len(p.data)
+	}
+	t := e.dev.TransferToDevice(batchReady, srcBytes)
+
+	// The kernel: every chunk gets Sub.SubBlocks lanes, each compressing
+	// its own sub-block for real. Lane costs come from the real encoder
+	// work; wavefront lockstep and divergence are charged by the profile.
+	results := make([]lz.SubBlockResult, len(pend))
+	parallelMap(len(pend), func(i int) {
+		results[i] = lz.CompressSubBlocks(pend[i].data, e.cfg.Sub)
+	})
+	var perLane []float64
+	rawBytes := 0
+	for _, res := range results {
+		for _, l := range res.Lanes {
+			perLane = append(perLane, gcost.CompressBaseCycles+
+				float64(l.Stats.Positions)*gcost.CompressCyclesPerPosition+
+				float64(l.Stats.SearchSteps)*gcost.MatchStepCycles+
+				float64(l.Stats.DstBytes)*gcost.EmitCyclesPerByte)
+		}
+		rawBytes += res.RawBytes()
+	}
+	kernel := gpu.KernelFunc{Label: "subblock-lz", Fn: func() gpu.Profile {
+		p := gpu.Wavefronts(perLane, e.dev.WavefrontSize)
+		p.LocalBytes = int64(srcBytes)
+		return p
+	}}
+	t, _ = e.dev.Launch(t, kernel)
+	t = e.dev.TransferFromDevice(t, rawBytes+8*len(pend))
+
+	// CPU post-processing: stitch each chunk's lanes into the final blob.
+	// The blobs are computed now, but their CPU jobs are committed when the
+	// CPU frontier reaches the kernel completion time (retireDue), so the
+	// virtual pool stays work-conserving.
+	blobs := make([][]byte, len(pend))
+	errs := make([]error, len(pend))
+	parallelMap(len(pend), func(i int) {
+		blobs[i], _, errs[i] = lz.PostProcessOrRaw(nil, pend[i].data, results[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	e.retired = append(e.retired, retiredBatch{t: t, pend: pend, blobs: blobs})
+	return nil
+}
+
+// retireDue commits the post-processing of every GPU compression batch
+// whose kernel has completed by the current CPU frontier.
+func (e *Engine) retireDue() error {
+	for len(e.retired) > 0 && e.retired[0].t <= e.cpu.Pool.NextFree() {
+		if err := e.retireBatch(e.retired[0]); err != nil {
+			return err
+		}
+		e.retired = e.retired[1:]
+	}
+	return nil
+}
+
+// retireBatch schedules a retired GPU batch's CPU post-processing and
+// finishes its chunks.
+func (e *Engine) retireBatch(rb retiredBatch) error {
+	cost := e.cpu.Cost
+	for i, p := range rb.pend {
+		base := cost.PostProcessCycles(len(rb.blobs[i])) + cost.StageOverheadCycles
+		e.rep.Stages.PostProcess += e.seconds(base)
+		if err := e.finishUnique(p.fp, rb.blobs[i], rb.t, base, int(p.idx)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finishUnique finishes a unique chunk: one fused CPU job (compression or
+// post-processing plus the bin-buffer insert — the worker that produced the
+// blob also files it, so no dependency bubble), then the destage write and,
+// on a bin-buffer flush, the sequential journal write plus the GPU bin
+// update (Figure 1).
+//
+// Blobs pack into SSD pages log-structured: the blob lands at the next free
+// byte offset, and the destage write covers exactly the pages the blob
+// completes, so compression savings translate into page savings.
+func (e *Engine) finishUnique(fp dedup.Fingerprint, blob []byte, ready time.Duration, baseCycles float64, chunkIdx int) error {
+	cost := e.cpu.Cost
+	loc := e.dataCursor
+	if loc+int64(len(blob)) > e.dataLimit {
+		return fmt.Errorf("core: drive full: data region needs byte %d of %d", loc+int64(len(blob)), e.dataLimit)
+	}
+	pageSize := int64(e.drive.PageSize)
+	firstPage := loc / pageSize
+	e.dataCursor += int64(len(blob))
+	pages := e.dataCursor/pageSize - firstPage // pages this blob completes
+	e.rep.StoredBytes += int64(len(blob))
+	if e.cfg.Verify {
+		e.blobs[loc] = blob
+		if chunkIdx < len(e.locs) && e.locs[chunkIdx] == -1 {
+			e.locs[chunkIdx] = loc // GPU-batched chunk retiring late
+		} else {
+			e.locs = append(e.locs, loc)
+		}
+	}
+
+	cycles := baseCycles
+	var flush *dedup.Flush
+	if e.cfg.Dedup {
+		if ref, ok := e.inflight[fp]; ok {
+			for _, w := range ref.waiters {
+				e.locs[w] = loc
+			}
+			delete(e.inflight, fp)
+		}
+		ir := e.index.Insert(fp, dedup.Entry{Loc: loc, Size: uint32(len(blob))})
+		insCycles := cost.InsertCycles + float64(ir.BufferScanned)*cost.BufferEntryCycles
+		if ir.Flush != nil {
+			insCycles += float64(ir.Flush.TreeSteps) * cost.TreeStepCycles
+			flush = ir.Flush
+		}
+		cycles += insCycles
+		e.rep.Stages.Insert += e.seconds(insCycles)
+	}
+	_, end := e.cpu.Run(ready, cycles)
+	if pages > 0 {
+		if _, err := e.drive.Write(end, firstPage, int(pages)); err != nil {
+			return err
+		}
+	}
+	if flush != nil {
+		e.journal.Append(flush)
+		if err := e.writeJournal(end, flush.Bytes); err != nil {
+			return err
+		}
+		if e.gbins != nil {
+			if _, err := e.gbins.Update(end, e.gpuBin(flush.Bin), flush.Keys(), flush.Values()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// seconds converts CPU cycles into seconds of core time for the stage
+// breakdown.
+func (e *Engine) seconds(cycles float64) float64 {
+	return cycles / e.plat.CPU.ClockHz
+}
+
+// gpuBin maps a CPU bin id onto the coarser GPU bin grid: both are leading
+// fingerprint bits, so the GPU bin is the CPU bin's top GPUBinBits bits.
+func (e *Engine) gpuBin(cpuBin uint32) uint32 {
+	return cpuBin >> uint(e.cfg.Index.BinBits-e.cfg.GPUBinBits)
+}
+
+// writeJournal appends one bin-buffer flush to the sequential journal
+// region ("this creates the appropriate sequential writes for the SSD",
+// §3.3), wrapping at the region end.
+func (e *Engine) writeJournal(at time.Duration, bytes int) error {
+	pages := int64(e.drive.Pages(bytes))
+	if pages == 0 {
+		pages = 1
+	}
+	if e.journalCur+pages > e.journalLimit {
+		e.journalCur = e.journalBase
+	}
+	if _, err := e.drive.Write(at, e.journalCur, int(pages)); err != nil {
+		return err
+	}
+	e.journalCur += pages
+	e.rep.JournalBytes += int64(bytes)
+	e.rep.JournalWrites++
+	return nil
+}
+
+// finalFlush writes the final partial data page and drains the bin buffers
+// at end of stream.
+func (e *Engine) finalFlush() {
+	at := e.cpu.Pool.Horizon()
+	if e.dataCursor%int64(e.drive.PageSize) != 0 {
+		// The final partial page of the data log.
+		_, _ = e.drive.Write(at, e.dataCursor/int64(e.drive.PageSize), 1)
+	}
+	if e.index == nil {
+		return
+	}
+	for _, f := range e.index.FlushAll() {
+		e.journal.Append(f)
+		_, at = e.cpu.Run(at, float64(f.TreeSteps)*e.cpu.Cost.TreeStepCycles)
+		if err := e.writeJournal(at, f.Bytes); err != nil {
+			return // journal region exhausted at teardown; stats still valid
+		}
+		if e.gbins != nil {
+			_, _ = e.gbins.Update(at, e.gpuBin(f.Bin), f.Keys(), f.Values())
+		}
+	}
+}
+
+// finish computes the report's derived figures.
+func (e *Engine) finish() {
+	r := &e.rep
+	elapsed := e.cpu.Pool.Horizon()
+	if e.dev != nil {
+		elapsed = sim.MaxTime(elapsed, e.dev.Horizon())
+	}
+	if e.cfg.IncludeDestage {
+		elapsed = sim.MaxTime(elapsed, e.drive.Horizon())
+	}
+	r.Elapsed = elapsed
+	r.IOPS = sim.Throughput(float64(r.Chunks), elapsed)
+	r.BytesPerSec = sim.Throughput(float64(r.Bytes), elapsed)
+	if r.UniqueChunks > 0 {
+		r.DedupRatio = float64(r.Chunks) / float64(r.UniqueChunks)
+	}
+	if r.StoredBytes > 0 {
+		r.CompRatio = float64(r.UniqueBytes) / float64(r.StoredBytes)
+		r.ReductionRatio = float64(r.Bytes) / float64(r.StoredBytes)
+	}
+	r.CPUUtil = e.cpu.Utilization(elapsed)
+	if e.dev != nil {
+		r.GPUUtil = e.dev.Utilization(elapsed)
+		r.GPULinkUtil = e.dev.LinkUtilization(elapsed)
+		r.GPUKernels = e.dev.Kernels()
+	}
+	r.SSDUtil = e.drive.Utilization(elapsed)
+	r.SSD = e.drive.Stats()
+	r.SSDWriteAmp = r.SSD.WriteAmplification()
+	r.MaxErase = e.drive.MaxErase()
+	if e.index != nil {
+		r.IndexEntries = e.index.Len()
+		r.IndexMemory = e.index.MemoryBytes()
+		r.IndexEvictions = e.index.Evicted()
+	}
+}
+
+// VerifyAgainst re-reads the original stream and checks that every chunk is
+// reconstructable from what the pipeline stored: duplicates resolve to
+// their original's blob, blobs decompress to the exact source bytes.
+// Requires Config.Verify.
+func (e *Engine) VerifyAgainst(r io.Reader) error {
+	if !e.cfg.Verify {
+		return fmt.Errorf("core: VerifyAgainst needs Config.Verify")
+	}
+	var ck chunk.Chunker
+	if e.cfg.Chunker == CDCChunking {
+		ck = chunk.NewGear(r, e.cfg.Gear)
+	} else {
+		ck = chunk.NewFixed(r, e.cfg.ChunkSize)
+	}
+	for i := 0; ; i++ {
+		c, err := ck.Next()
+		if err == io.EOF {
+			if int64(i) != e.rep.Chunks {
+				return fmt.Errorf("core: verify stream has %d chunks, pipeline saw %d", i, e.rep.Chunks)
+			}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if i >= len(e.locs) {
+			return fmt.Errorf("core: chunk %d has no stored location", i)
+		}
+		blob, ok := e.blobs[e.locs[i]]
+		if !ok {
+			return fmt.Errorf("core: chunk %d points at unknown location %d", i, e.locs[i])
+		}
+		out, err := lz.Decompress(nil, blob)
+		if err != nil {
+			return fmt.Errorf("core: chunk %d: %w", i, err)
+		}
+		if string(out) != string(c.Data) {
+			return fmt.Errorf("core: chunk %d: stored data does not reconstruct the source", i)
+		}
+	}
+}
+
+// parallelMap runs fn(i) for i in [0,n) across GOMAXPROCS goroutines. It is
+// a wall-clock optimization only: the virtual-time accounting is unchanged,
+// and fn writes only to its own index.
+func parallelMap(n int, fn func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,60 @@
+// Package core implements the paper's primary contribution: the integrated
+// inline data reduction pipeline of §3.3 (Figure 1), which chunks and
+// fingerprints a write stream, deduplicates it through the bin-based index,
+// compresses unique chunks with LZSS, and destages the survivors to the SSD
+// — parallelized across the multi-core CPU and the GPU under one of the four
+// integration options the evaluation compares (Figure 2), with the dummy-I/O
+// calibration pass that picks the best option for the platform at hand.
+//
+// The pipeline runs on the virtual clock: every data-plane result (hash,
+// duplicate decision, compressed byte) is computed for real, while stage
+// timings come from the calibrated CPU/GPU/SSD cost models. See DESIGN.md
+// for the substitution statement and calibration targets.
+package core
+
+import (
+	"time"
+
+	"inlinered/internal/cpusim"
+	"inlinered/internal/gpu"
+	"inlinered/internal/ssd"
+)
+
+// Platform describes the hardware the pipeline runs on.
+type Platform struct {
+	CPU    cpusim.Config
+	GPU    gpu.Config
+	HasGPU bool
+	SSD    ssd.Config
+}
+
+// PaperPlatform returns the published testbed: an i7-3770K-class CPU, a
+// Radeon HD 7970-class GPU, and an SSD 830-class drive.
+func PaperPlatform() Platform {
+	return Platform{
+		CPU:    cpusim.DefaultConfig(),
+		GPU:    gpu.DefaultConfig(),
+		HasGPU: true,
+		SSD:    ssd.DefaultConfig(),
+	}
+}
+
+// CPUOnlyPlatform returns the paper testbed without its GPU ("the last
+// option may be useful when the performance of the GPU is poor", §4(3)).
+func CPUOnlyPlatform() Platform {
+	p := PaperPlatform()
+	p.HasGPU = false
+	return p
+}
+
+// WeakGPUPlatform returns a platform whose GPU is so slow that the
+// calibration pass should refuse to use it — the E5 scenario.
+func WeakGPUPlatform() Platform {
+	p := PaperPlatform()
+	p.GPU.Name = "integrated-class weak GPU"
+	p.GPU.ComputeUnits = 2
+	p.GPU.ClockHz = 300e6
+	p.GPU.LaunchOverhead = 400 * time.Microsecond
+	p.GPU.PCIeBytesPerSec = 1e9
+	return p
+}

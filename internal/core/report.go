@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"inlinered/internal/sim"
+	"inlinered/internal/ssd"
+)
+
+// Breakdown is the virtual CPU time spent per pipeline stage, in seconds of
+// core-busy time (summed over threads). It shows where the reduction cycles
+// go — the paper's bottleneck analysis (hashing and indexing dominate
+// dedup; the match search dominates compression).
+type Breakdown struct {
+	Chunking    float64
+	Hashing     float64
+	Indexing    float64
+	Compression float64 // CPU compression (or raw-store staging)
+	PostProcess float64 // refinement of GPU compression results
+	Insert      float64 // bin-buffer/bin-tree updates and flushes
+	GPUMerge    float64 // staging GPU index results
+}
+
+// Total returns the summed stage time.
+func (b Breakdown) Total() float64 {
+	return b.Chunking + b.Hashing + b.Indexing + b.Compression + b.PostProcess + b.Insert + b.GPUMerge
+}
+
+// Report summarizes one pipeline run. Throughput figures are in the paper's
+// units: IOPS are chunk-sized writes per second of virtual time.
+type Report struct {
+	Mode  Mode
+	Bytes int64 // stream bytes ingested
+
+	Chunks       int64
+	UniqueChunks int64
+	UniqueBytes  int64
+	DupChunks    int64
+
+	// Duplicate hit breakdown across Figure 1's three probes, plus
+	// duplicates of uniques still in flight to the GPU compressor.
+	DupHitsGPU     int64
+	DupHitsBuffer  int64
+	DupHitsTree    int64
+	DupHitsPending int64
+
+	SkippedIncompressible int64 // uniques stored raw by the entropy bypass
+
+	StoredBytes   int64 // compressed unique payload destaged
+	JournalBytes  int64 // index journal flushed sequentially
+	JournalWrites int64 // journal flush I/Os (bin-buffer flushes)
+
+	Elapsed     time.Duration // reduction pipeline makespan (virtual)
+	IOPS        float64
+	BytesPerSec float64
+
+	// Achieved ratios, measured on the real data.
+	DedupRatio     float64 // chunks / unique chunks
+	CompRatio      float64 // unique bytes / stored bytes
+	ReductionRatio float64 // stream bytes / stored bytes
+
+	CPUUtil     float64
+	GPUUtil     float64
+	GPULinkUtil float64
+	SSDUtil     float64
+
+	GPUKernels       int64
+	GPUIndexBatches  int64
+	GPUIndexedChunks int64
+
+	IndexEntries   int64
+	IndexMemory    int64
+	IndexEvictions int64
+
+	SSD         ssd.Stats
+	SSDWriteAmp float64
+	MaxErase    int
+
+	Stages Breakdown
+}
+
+// SpeedupOver returns this report's IOPS relative to a baseline run.
+func (r *Report) SpeedupOver(base *Report) float64 {
+	if base == nil || base.IOPS == 0 {
+		return 0
+	}
+	return r.IOPS / base.IOPS
+}
+
+// String renders a human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode=%s bytes=%d chunks=%d (unique=%d dup=%d)\n",
+		r.Mode, r.Bytes, r.Chunks, r.UniqueChunks, r.DupChunks)
+	fmt.Fprintf(&b, "  elapsed=%v  throughput=%.0f IOPS (%s)\n",
+		r.Elapsed.Round(time.Microsecond), r.IOPS, sim.FormatRate(r.BytesPerSec))
+	fmt.Fprintf(&b, "  ratios: dedup=%.2f comp=%.2f total=%.2f  stored=%d journal=%d\n",
+		r.DedupRatio, r.CompRatio, r.ReductionRatio, r.StoredBytes, r.JournalBytes)
+	fmt.Fprintf(&b, "  dup hits: gpu=%d buffer=%d tree=%d pending=%d  gpu-indexed=%d chunks in %d batches\n",
+		r.DupHitsGPU, r.DupHitsBuffer, r.DupHitsTree, r.DupHitsPending, r.GPUIndexedChunks, r.GPUIndexBatches)
+	fmt.Fprintf(&b, "  util: cpu=%.1f%% gpu=%.1f%% pcie=%.1f%% ssd=%.1f%%  kernels=%d\n",
+		100*r.CPUUtil, 100*r.GPUUtil, 100*r.GPULinkUtil, 100*r.SSDUtil, r.GPUKernels)
+	fmt.Fprintf(&b, "  ssd: hostW=%d nandW=%d WA=%.2f erases=%d maxErase=%d\n",
+		r.SSD.HostWritePages, r.SSD.NANDWritePages, r.SSDWriteAmp, r.SSD.Erases, r.MaxErase)
+	if total := r.Stages.Total(); total > 0 {
+		fmt.Fprintf(&b, "  cpu stages: chunk=%.1f%% hash=%.1f%% index=%.1f%% compress=%.1f%% postproc=%.1f%% insert=%.1f%% gpu-merge=%.1f%%",
+			100*r.Stages.Chunking/total, 100*r.Stages.Hashing/total, 100*r.Stages.Indexing/total,
+			100*r.Stages.Compression/total, 100*r.Stages.PostProcess/total, 100*r.Stages.Insert/total,
+			100*r.Stages.GPUMerge/total)
+	}
+	return b.String()
+}

@@ -1,0 +1,243 @@
+package dedup
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, uint64(i))
+	return b
+}
+
+func TestTreeInsertGet(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 100; i++ {
+		steps, replaced := tr.Insert(key(i), Entry{Loc: int64(i)})
+		if replaced {
+			t.Fatalf("insert %d: unexpected replace", i)
+		}
+		if steps < 1 {
+			t.Fatalf("insert %d: steps %d", i, steps)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("len: got %d, want 100", tr.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, steps, ok := tr.Get(key(i))
+		if !ok || v.Loc != int64(i) {
+			t.Fatalf("get %d: ok=%v v=%+v", i, ok, v)
+		}
+		if steps < 1 || steps > 20 {
+			t.Fatalf("get %d: implausible probe depth %d", i, steps)
+		}
+	}
+	if _, _, ok := tr.Get(key(1000)); ok {
+		t.Fatal("missing key reported found")
+	}
+}
+
+func TestTreeReplace(t *testing.T) {
+	var tr Tree
+	tr.Insert(key(1), Entry{Loc: 1})
+	_, replaced := tr.Insert(key(1), Entry{Loc: 2})
+	if !replaced || tr.Len() != 1 {
+		t.Fatalf("replace: replaced=%v len=%d", replaced, tr.Len())
+	}
+	v, _, _ := tr.Get(key(1))
+	if v.Loc != 2 {
+		t.Fatalf("replaced value: %+v", v)
+	}
+}
+
+func TestTreeBalancedDepth(t *testing.T) {
+	var tr Tree
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		tr.Insert(key(i), Entry{}) // adversarial sorted insertion order
+	}
+	maxSteps := 0
+	for i := 0; i < n; i += 97 {
+		_, steps, ok := tr.Get(key(i))
+		if !ok {
+			t.Fatalf("key %d missing", i)
+		}
+		if steps > maxSteps {
+			maxSteps = steps
+		}
+	}
+	// LLRB height <= 2*log2(n) ~ 28 for 16 Ki entries.
+	if maxSteps > 30 {
+		t.Fatalf("tree unbalanced: probe depth %d for %d sorted inserts", maxSteps, n)
+	}
+	if tr.checkInvariants() < 0 {
+		t.Fatal("red-black invariants violated")
+	}
+}
+
+func TestTreeKeyAt(t *testing.T) {
+	var tr Tree
+	perm := rand.New(rand.NewSource(1)).Perm(50)
+	for _, i := range perm {
+		tr.Insert(key(i), Entry{Loc: int64(i)})
+	}
+	for rank := 0; rank < 50; rank++ {
+		k, v, ok := tr.KeyAt(rank)
+		if !ok {
+			t.Fatalf("rank %d missing", rank)
+		}
+		if !bytes.Equal(k, key(rank)) || v.Loc != int64(rank) {
+			t.Fatalf("rank %d: got key %x", rank, k)
+		}
+	}
+	if _, _, ok := tr.KeyAt(-1); ok {
+		t.Fatal("negative rank should fail")
+	}
+	if _, _, ok := tr.KeyAt(50); ok {
+		t.Fatal("out-of-range rank should fail")
+	}
+}
+
+func TestTreeDelete(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 200; i++ {
+		tr.Insert(key(i), Entry{Loc: int64(i)})
+	}
+	for i := 0; i < 200; i += 2 {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Delete(key(0)) {
+		t.Fatal("double delete should report false")
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("len after deletes: %d", tr.Len())
+	}
+	for i := 0; i < 200; i++ {
+		_, _, ok := tr.Get(key(i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("key %d: found=%v want=%v", i, ok, want)
+		}
+	}
+	if tr.checkInvariants() < 0 {
+		t.Fatal("invariants violated after deletes")
+	}
+}
+
+func TestTreeDeleteAt(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 10; i++ {
+		tr.Insert(key(i), Entry{Loc: int64(i)})
+	}
+	k, v, ok := tr.DeleteAt(3)
+	if !ok || !bytes.Equal(k, key(3)) || v.Loc != 3 {
+		t.Fatalf("DeleteAt(3): k=%x v=%+v ok=%v", k, v, ok)
+	}
+	if tr.Len() != 9 {
+		t.Fatalf("len: %d", tr.Len())
+	}
+	if _, _, ok := tr.DeleteAt(99); ok {
+		t.Fatal("out-of-range DeleteAt should fail")
+	}
+}
+
+func TestTreeWalkInOrder(t *testing.T) {
+	var tr Tree
+	perm := rand.New(rand.NewSource(2)).Perm(64)
+	for _, i := range perm {
+		tr.Insert(key(i), Entry{})
+	}
+	var keys [][]byte
+	tr.Walk(func(k []byte, _ Entry) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 64 {
+		t.Fatalf("walk visited %d", len(keys))
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 }) {
+		t.Fatal("walk not in key order")
+	}
+	// Early stop.
+	n := 0
+	tr.Walk(func([]byte, Entry) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// Property: the tree agrees with a reference map under a random mix of
+// inserts and deletes, and red-black + size invariants always hold.
+func TestTreeMatchesMapProperty(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := int(opsRaw)%400 + 50
+		var tr Tree
+		ref := map[string]Entry{}
+		for i := 0; i < ops; i++ {
+			k := key(rng.Intn(64))
+			if rng.Intn(3) == 0 {
+				delTree := tr.Delete(k)
+				_, inRef := ref[string(k)]
+				if delTree != inRef {
+					return false
+				}
+				delete(ref, string(k))
+			} else {
+				v := Entry{Loc: rng.Int63()}
+				tr.Insert(k, v)
+				ref[string(k)] = v
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		if tr.checkInvariants() < 0 {
+			return false
+		}
+		for k, v := range ref {
+			got, _, ok := tr.Get([]byte(k))
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: KeyAt enumerates exactly the sorted key set.
+func TestTreeRankProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tr Tree
+		n := rng.Intn(100) + 1
+		for i := 0; i < n; i++ {
+			tr.Insert(key(rng.Intn(256)), Entry{})
+		}
+		var prev []byte
+		for r := 0; r < tr.Len(); r++ {
+			k, _, ok := tr.KeyAt(r)
+			if !ok {
+				return false
+			}
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				return false
+			}
+			prev = k
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package dedup
+
+import (
+	"crypto/sha1"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumMatchesSHA1(t *testing.T) {
+	data := []byte("inline data reduction")
+	if Sum(data) != Fingerprint(sha1.Sum(data)) {
+		t.Fatal("Sum must be SHA-1")
+	}
+}
+
+func TestStringIsHex(t *testing.T) {
+	fp := Sum([]byte("x"))
+	s := fp.String()
+	if len(s) != 40 {
+		t.Fatalf("hex length: got %d, want 40", len(s))
+	}
+}
+
+func TestBinSelectsLeadingBits(t *testing.T) {
+	var fp Fingerprint
+	fp[0] = 0xAB
+	fp[1] = 0xCD
+	if got := fp.Bin(8); got != 0xAB {
+		t.Fatalf("Bin(8): got %#x, want 0xAB", got)
+	}
+	if got := fp.Bin(12); got != 0xABC {
+		t.Fatalf("Bin(12): got %#x, want 0xABC", got)
+	}
+	if got := fp.Bin(0); got != 0 {
+		t.Fatalf("Bin(0): got %d, want 0", got)
+	}
+	if got := fp.Bin(40); got != fp.Bin(32) {
+		t.Fatal("Bin should clamp at 32 bits")
+	}
+}
+
+func TestSuffixTruncation(t *testing.T) {
+	fp := Sum([]byte("y"))
+	full := fp.Suffix(0)
+	if len(full) != FingerprintSize {
+		t.Fatalf("Suffix(0) length %d", len(full))
+	}
+	two := fp.Suffix(2)
+	if len(two) != FingerprintSize-2 {
+		t.Fatalf("Suffix(2) length %d", len(two))
+	}
+	for i := range two {
+		if two[i] != fp[i+2] {
+			t.Fatal("suffix bytes misaligned")
+		}
+	}
+	if len(fp.Suffix(-1)) != FingerprintSize || len(fp.Suffix(99)) != 0 {
+		t.Fatal("Suffix should clamp out-of-range prefixes")
+	}
+}
+
+func TestEntryBytesMatchesPaperArithmetic(t *testing.T) {
+	// §3.1: 20-byte SHA-1 + metadata = 32 bytes/entry; a 2-byte prefix
+	// saves 2 bytes/entry (1 GB of the 16 GB index for 4 TB at 8 KB).
+	if EntryBytes(0) != 32 {
+		t.Fatalf("EntryBytes(0) = %d, want 32", EntryBytes(0))
+	}
+	if EntryBytes(2) != 30 {
+		t.Fatalf("EntryBytes(2) = %d, want 30", EntryBytes(2))
+	}
+	const (
+		capacity  = 4 << 40 // 4 TB
+		chunkSize = 8 << 10 // 8 KB
+	)
+	entries := int64(capacity / chunkSize)
+	full := entries * int64(EntryBytes(0))
+	if full != 16<<30 {
+		t.Fatalf("full index: got %d bytes, want 16 GiB", full)
+	}
+	saved := entries * int64(EntryBytes(0)-EntryBytes(2))
+	if saved != 1<<30 {
+		t.Fatalf("2-byte prefix saving: got %d bytes, want 1 GiB", saved)
+	}
+}
+
+// Property: bin id equals the integer formed by the first `bits` bits, and
+// truncation+bin together preserve the full fingerprint identity when
+// 8*prefix <= bits.
+func TestBinPlusSuffixLossless(t *testing.T) {
+	f := func(a, b [20]byte) bool {
+		fa, fb := Fingerprint(a), Fingerprint(b)
+		const bits, prefix = 16, 2
+		if fa == fb {
+			return true
+		}
+		// Different fingerprints must differ in (bin, suffix).
+		sameBin := fa.Bin(bits) == fb.Bin(bits)
+		sameSuffix := string(fa.Suffix(prefix)) == string(fb.Suffix(prefix))
+		return !(sameBin && sameSuffix)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+package dedup
+
+import "testing"
+
+// FuzzReplayJournal: journal replay must never panic on arbitrary images
+// and must accept every image the writer produces.
+func FuzzReplayJournal(f *testing.F) {
+	cfg := IndexConfig{BinBits: 6, BufferEntries: 4}
+	idx, _ := NewBinIndex(cfg)
+	w := NewJournalWriter(0)
+	for i := 0; i < 64; i++ {
+		if ir := idx.Insert(fpFor(i), Entry{Loc: int64(i)}); ir.Flush != nil {
+			w.Append(ir.Flush)
+		}
+	}
+	f.Add(w.Bytes())
+	f.Add([]byte{journalMagic, 0x01, 0x00})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, img []byte) {
+		rec, err := ReplayJournal(img, cfg)
+		if err == nil && rec.Len() < 0 {
+			t.Fatal("negative entry count")
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package dedup
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The index journal is the durable form of §3.3's bin-buffer flushes: "when
+// the buffer is full, the hash is immediately flushed from the buffer to
+// the storage. This creates the appropriate sequential writes for the SSD."
+// Each flush appends one self-describing record; replaying the journal
+// after a crash rebuilds every flushed index entry. Entries still sitting
+// in bin buffers at the moment of the crash were never journaled and are
+// lost — the memory-only-index tradeoff: their future duplicates are simply
+// stored again.
+//
+// Record format (little-endian):
+//
+//	magic byte 'J'
+//	uvarint bin id
+//	uvarint entry count
+//	per entry: key suffix (fixed width = 20 - PrefixBytes), uvarint loc,
+//	           uvarint size
+
+// ErrJournalCorrupt is wrapped by every journal decode error.
+var ErrJournalCorrupt = errors.New("dedup: corrupt journal")
+
+const journalMagic = 'J'
+
+// JournalWriter serializes bin-buffer flushes into a journal image.
+type JournalWriter struct {
+	prefixBytes int
+	buf         bytes.Buffer
+	records     int
+}
+
+// NewJournalWriter returns a writer for an index with the given prefix
+// truncation (the key width is implied by it).
+func NewJournalWriter(prefixBytes int) *JournalWriter {
+	if prefixBytes < 0 {
+		prefixBytes = 0
+	}
+	if prefixBytes > FingerprintSize {
+		prefixBytes = FingerprintSize
+	}
+	return &JournalWriter{prefixBytes: prefixBytes}
+}
+
+// Append serializes one flush record and returns the bytes written.
+func (w *JournalWriter) Append(f *Flush) int {
+	before := w.buf.Len()
+	w.buf.WriteByte(journalMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		w.buf.Write(tmp[:n])
+	}
+	put(uint64(f.Bin))
+	put(uint64(len(f.Entries)))
+	for _, e := range f.Entries {
+		w.buf.Write(e.key)
+		put(uint64(e.val.Loc))
+		put(uint64(e.val.Size))
+	}
+	w.records++
+	return w.buf.Len() - before
+}
+
+// Bytes returns the journal image accumulated so far.
+func (w *JournalWriter) Bytes() []byte { return w.buf.Bytes() }
+
+// Records returns the number of flush records appended.
+func (w *JournalWriter) Records() int { return w.records }
+
+// ReplayJournal rebuilds an index from a journal image: every journaled
+// entry is inserted (buffered then flushed), so the recovered index finds
+// everything that had reached the bin trees before the crash. cfg must
+// match the original index's configuration.
+func ReplayJournal(image []byte, cfg IndexConfig) (*BinIndex, error) {
+	idx, err := NewBinIndex(cfg)
+	if err != nil {
+		return nil, err
+	}
+	keyLen := FingerprintSize - cfg.PrefixBytes
+	r := bytes.NewReader(image)
+	for r.Len() > 0 {
+		m, err := r.ReadByte()
+		if err != nil || m != journalMagic {
+			return nil, fmt.Errorf("%w: bad record magic %#x", ErrJournalCorrupt, m)
+		}
+		bin, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bin id: %v", ErrJournalCorrupt, err)
+		}
+		if bin >= uint64(idx.Bins()) {
+			return nil, fmt.Errorf("%w: bin %d out of range", ErrJournalCorrupt, bin)
+		}
+		count, err := binary.ReadUvarint(r)
+		if err != nil || count > 1<<20 {
+			return nil, fmt.Errorf("%w: entry count", ErrJournalCorrupt)
+		}
+		for i := uint64(0); i < count; i++ {
+			key := make([]byte, keyLen)
+			if _, err := r.Read(key); err != nil {
+				return nil, fmt.Errorf("%w: truncated key", ErrJournalCorrupt)
+			}
+			loc, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, fmt.Errorf("%w: loc", ErrJournalCorrupt)
+			}
+			size, err := binary.ReadUvarint(r)
+			if err != nil || size > 1<<31 {
+				return nil, fmt.Errorf("%w: size", ErrJournalCorrupt)
+			}
+			// Insert straight into the bin tree: journaled entries had
+			// already flushed when they were written.
+			b := &idx.bins[bin]
+			if _, replaced := b.tree.Insert(key, Entry{Loc: int64(loc), Size: uint32(size)}); !replaced {
+				idx.entries.Add(1)
+			}
+		}
+	}
+	return idx, nil
+}

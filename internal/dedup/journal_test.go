@@ -1,0 +1,141 @@
+package dedup
+
+import (
+	"errors"
+	"testing"
+)
+
+// buildJournaledIndex inserts n fingerprints, journaling every flush, and
+// returns the live index, the journal, and the fingerprints.
+func buildJournaledIndex(t *testing.T, cfg IndexConfig, n int) (*BinIndex, *JournalWriter, []Fingerprint) {
+	t.Helper()
+	idx, err := NewBinIndex(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewJournalWriter(cfg.PrefixBytes)
+	fps := make([]Fingerprint, n)
+	for i := range fps {
+		fps[i] = fpFor(i)
+		ir := idx.Insert(fps[i], Entry{Loc: int64(i), Size: uint32(i % 1000)})
+		if ir.Flush != nil {
+			w.Append(ir.Flush)
+		}
+	}
+	return idx, w, fps
+}
+
+func TestJournalReplayRecoversFlushedEntries(t *testing.T) {
+	cfg := IndexConfig{BinBits: 6, BufferEntries: 8}
+	live, w, fps := buildJournaledIndex(t, cfg, 5000)
+	if w.Records() == 0 {
+		t.Fatal("no flushes journaled")
+	}
+	rec, err := ReplayJournal(w.Bytes(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything the live index flushed to its trees must be recovered,
+	// with identical metadata.
+	if int(rec.Len()) != live.TreeEntries() {
+		t.Fatalf("recovered %d entries, live trees hold %d", rec.Len(), live.TreeEntries())
+	}
+	recoveredHits := 0
+	for i, fp := range fps {
+		p := rec.Lookup(fp)
+		if !p.Found {
+			continue
+		}
+		recoveredHits++
+		if p.Entry.Loc != int64(i) || p.Entry.Size != uint32(i%1000) {
+			t.Fatalf("fp %d recovered with wrong metadata: %+v", i, p.Entry)
+		}
+	}
+	if recoveredHits != live.TreeEntries() {
+		t.Fatalf("recovered hits %d != tree entries %d", recoveredHits, live.TreeEntries())
+	}
+	// Entries still buffered at the crash are lost — the documented
+	// tradeoff.
+	if live.BufferedEntries() == 0 {
+		t.Fatal("test needs some unflushed entries to be meaningful")
+	}
+}
+
+func TestJournalReplayAfterFlushAllIsComplete(t *testing.T) {
+	cfg := IndexConfig{BinBits: 4, BufferEntries: 4}
+	live, w, fps := buildJournaledIndex(t, cfg, 1000)
+	for _, f := range live.FlushAll() {
+		w.Append(f)
+	}
+	rec, err := ReplayJournal(w.Bytes(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, fp := range fps {
+		if p := rec.Lookup(fp); !p.Found || p.Entry.Loc != int64(i) {
+			t.Fatalf("fp %d missing after clean-shutdown replay", i)
+		}
+	}
+	if rec.Len() != live.Len() {
+		t.Fatalf("recovered %d vs live %d", rec.Len(), live.Len())
+	}
+}
+
+func TestJournalWithPrefixTruncation(t *testing.T) {
+	cfg := IndexConfig{BinBits: 16, BufferEntries: 4, PrefixBytes: 2}
+	live, w, fps := buildJournaledIndex(t, cfg, 500)
+	for _, f := range live.FlushAll() {
+		w.Append(f)
+	}
+	rec, err := ReplayJournal(w.Bytes(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, fp := range fps {
+		if p := rec.Lookup(fp); !p.Found {
+			t.Fatalf("truncated fp %d missing after replay", i)
+		}
+	}
+}
+
+func TestJournalRejectsCorruption(t *testing.T) {
+	cfg := IndexConfig{BinBits: 4, BufferEntries: 4}
+	live, w, _ := buildJournaledIndex(t, cfg, 200)
+	for _, f := range live.FlushAll() {
+		w.Append(f)
+	}
+	good := w.Bytes()
+
+	cases := map[string][]byte{
+		"bad magic":  append([]byte{0xFF}, good[1:]...),
+		"truncated":  good[:len(good)/2],
+		"bin range":  {journalMagic, 0xFF, 0xFF, 0x01, 0x01},
+		"junk count": {journalMagic, 0x01},
+	}
+	for name, img := range cases {
+		if _, err := ReplayJournal(img, cfg); !errors.Is(err, ErrJournalCorrupt) {
+			t.Errorf("%s: want ErrJournalCorrupt, got %v", name, err)
+		}
+	}
+	// Mismatched config (different key width) must fail, not mis-replay.
+	if _, err := ReplayJournal(good, IndexConfig{BinBits: 16, BufferEntries: 4, PrefixBytes: 2}); err == nil {
+		t.Error("replay with mismatched prefix should fail")
+	}
+}
+
+func TestJournalEmptyImage(t *testing.T) {
+	cfg := DefaultIndexConfig()
+	rec, err := ReplayJournal(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 0 {
+		t.Fatal("empty journal should recover an empty index")
+	}
+}
+
+func TestJournalWriterClampsPrefix(t *testing.T) {
+	if NewJournalWriter(-1) == nil || NewJournalWriter(100) == nil {
+		t.Fatal("writer should clamp silly prefixes")
+	}
+}

@@ -1,0 +1,65 @@
+package dedup
+
+import "sync"
+
+// LockedMap is the baseline the bin-based design is measured against in the
+// scaling ablation (E8): a single global hash table shared by every
+// computing thread behind one lock. Functionally it deduplicates exactly
+// like BinIndex (without buffers, truncation, or caps); its purpose is to
+// expose the serialization the paper's bin partitioning removes.
+type LockedMap struct {
+	mu      sync.Mutex
+	entries map[Fingerprint]Entry
+	lookups int64
+	inserts int64
+}
+
+// NewLockedMap returns an empty locked index.
+func NewLockedMap() *LockedMap {
+	return &LockedMap{entries: make(map[Fingerprint]Entry)}
+}
+
+// Lookup probes the table under the global lock.
+func (m *LockedMap) Lookup(fp Fingerprint) (Entry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lookups++
+	e, ok := m.entries[fp]
+	return e, ok
+}
+
+// Insert stores an entry under the global lock.
+func (m *LockedMap) Insert(fp Fingerprint, e Entry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inserts++
+	m.entries[fp] = e
+}
+
+// LookupOrInsert probes and, on a miss, installs the entry atomically —
+// one critical section per chunk, as a single shared table forces.
+func (m *LockedMap) LookupOrInsert(fp Fingerprint, e Entry) (Entry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lookups++
+	if old, ok := m.entries[fp]; ok {
+		return old, true
+	}
+	m.inserts++
+	m.entries[fp] = e
+	return e, false
+}
+
+// Len returns the number of entries.
+func (m *LockedMap) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Ops returns the lookup and insert counts.
+func (m *LockedMap) Ops() (lookups, inserts int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lookups, m.inserts
+}

@@ -1,0 +1,116 @@
+package dedup
+
+import (
+	"crypto/sha1"
+	"fmt"
+	"sync"
+)
+
+// ParallelSum fingerprints a batch of chunks across workers goroutines.
+// Hashing has no cross-chunk dependency (§3.1), so this is embarrassingly
+// parallel; results are positionally aligned with the input.
+func ParallelSum(chunks [][]byte, workers int) []Fingerprint {
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]Fingerprint, len(chunks))
+	if len(chunks) == 0 {
+		return out
+	}
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := sha1.New()
+			for i := w; i < len(chunks); i += workers {
+				h.Reset()
+				h.Write(chunks[i])
+				h.Sum(out[i][:0])
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// ItemResult is the outcome of indexing one chunk in a batch.
+type ItemResult struct {
+	Probe  Probe        // what the lookup did
+	Insert InsertResult // what the insert did (zero when Probe.Found)
+}
+
+// WorkerWork aggregates the index work one worker performed, for costing.
+type WorkerWork struct {
+	Items         int
+	BufferScanned int
+	TreeSteps     int
+	Flushes       []*Flush
+}
+
+// ParallelIndexer drives a BinIndex from several goroutines without any
+// locking, using the paper's partitioning argument: each bin is owned by
+// exactly one worker (bin mod workers), so no two goroutines ever touch the
+// same bin. Items that share a fingerprint land in the same bin and are
+// processed in stream order by its owner, preserving first-occurrence
+// semantics.
+type ParallelIndexer struct {
+	Index   *BinIndex
+	Workers int
+}
+
+// NewParallelIndexer returns an indexer over idx with the given worker
+// count. It panics if workers < 1.
+func NewParallelIndexer(idx *BinIndex, workers int) *ParallelIndexer {
+	if workers < 1 {
+		panic(fmt.Sprintf("dedup: need >= 1 worker, got %d", workers))
+	}
+	if idx.Config().MaxEntries != 0 && workers > 1 {
+		// The random replacement policy shares one RNG and may evict from
+		// other workers' bins, so capped indexes must be driven serially.
+		panic("dedup: capped indexes (MaxEntries > 0) cannot be driven by multiple workers")
+	}
+	return &ParallelIndexer{Index: idx, Workers: workers}
+}
+
+// Process indexes a batch: for each fingerprint it performs a lookup and,
+// on a miss, inserts the entry produced by makeEntry(i). Results are
+// positionally aligned with fps; the per-worker work summaries let the
+// simulation cost each worker's virtual time independently.
+func (p *ParallelIndexer) Process(fps []Fingerprint, makeEntry func(i int) Entry) ([]ItemResult, []WorkerWork) {
+	results := make([]ItemResult, len(fps))
+	work := make([]WorkerWork, p.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < p.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ww := &work[w]
+			for i, fp := range fps {
+				if int(p.Index.BinOf(fp))%p.Workers != w {
+					continue
+				}
+				pr := p.Index.Lookup(fp)
+				results[i].Probe = pr
+				ww.Items++
+				ww.BufferScanned += pr.BufferScanned
+				ww.TreeSteps += pr.TreeSteps
+				if pr.Found {
+					continue
+				}
+				ir := p.Index.Insert(fp, makeEntry(i))
+				results[i].Insert = ir
+				ww.BufferScanned += ir.BufferScanned
+				if ir.Flush != nil {
+					ww.TreeSteps += ir.Flush.TreeSteps
+					ww.Flushes = append(ww.Flushes, ir.Flush)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return results, work
+}

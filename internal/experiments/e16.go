@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"inlinered/internal/ssd"
+)
+
+// E16WriteAmplification is a substrate-validation experiment: the SSD
+// simulator's FTL must reproduce the canonical write-amplification
+// behaviour that motivates the paper's §3.3 sequential-journal design —
+// random overwrites amplify NAND writes (greedy GC migrates live pages),
+// amplification falls as over-provisioning grows, and sequential
+// overwrites stay near 1 regardless.
+func E16WriteAmplification(cfg Config) (*Result, error) {
+	table := &Table{
+		ID:         "E16",
+		Title:      "Extension: SSD write amplification vs over-provisioning (FTL validation)",
+		PaperClaim: "(substrate) random overwrites amplify; sequential writes do not — why §3.3 journals sequentially",
+		Columns:    []string{"over-provision", "random WA", "sequential WA", "random erases", "max erase"},
+	}
+	metrics := map[string]float64{}
+	run := func(op float64, random bool) (*ssd.Drive, float64) {
+		c := ssd.DefaultConfig()
+		c.Channels = 4
+		c.BlocksPerChannel = 64
+		c.PagesPerBlock = 64
+		c.OverProvision = op
+		d := ssd.New(c)
+		logical := d.LogicalPages()
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		writes := 6 * logical
+		for i := int64(0); i < writes; i++ {
+			lpn := i % logical
+			if random {
+				lpn = rng.Int63n(logical)
+			}
+			if _, err := d.Write(0, lpn, 1); err != nil {
+				panic(err)
+			}
+		}
+		return d, d.Stats().WriteAmplification()
+	}
+	for _, op := range []float64{0.07, 0.15, 0.28} {
+		dRand, waRand := run(op, true)
+		_, waSeq := run(op, false)
+		table.Rows = append(table.Rows, []string{
+			cell("%.0f%%", 100*op),
+			cell("%.2f", waRand),
+			cell("%.2f", waSeq),
+			cell("%d", dRand.Stats().Erases),
+			cell("%d", dRand.MaxErase()),
+		})
+		key := cell("op%.0f", 100*op)
+		metrics["wa_random_"+key] = waRand
+		metrics["wa_seq_"+key] = waSeq
+	}
+	table.Notes = append(table.Notes,
+		"6 full drive-writes of 4 KB pages on a scaled-down drive; greedy GC",
+		"the paper's bin-buffer journal turns index updates into the sequential case")
+	return &Result{Table: table, Metrics: metrics}, nil
+}

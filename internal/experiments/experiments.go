@@ -1,0 +1,148 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (plus the preliminary experiment, the analytic index-memory
+// table, and the design ablations called out in DESIGN.md). Each runner
+// returns a Result holding a printable table and a map of named metrics the
+// tests and benchmarks assert shape properties on.
+//
+// The experiment index (IDs E1–E10) is documented in DESIGN.md; measured
+// versus published numbers are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Config scales the experiments.
+type Config struct {
+	// StreamBytes is the workload size for the pipeline experiments. The
+	// paper uses ~2 GB; the default keeps full-suite runs to a few
+	// minutes of wall clock. Override with INLINERED_STREAM_MB.
+	StreamBytes int64
+	// IndexEntries preloads E1's indexes (paper-scale is ~10^6).
+	IndexEntries int
+	// Seed roots all workload generation.
+	Seed int64
+}
+
+// DefaultConfig returns the default experiment scale, honouring the
+// INLINERED_STREAM_MB environment variable.
+func DefaultConfig() Config {
+	cfg := Config{
+		StreamBytes:  256 << 20,
+		IndexEntries: 1 << 20,
+		Seed:         42,
+	}
+	if v := os.Getenv("INLINERED_STREAM_MB"); v != "" {
+		if mb, err := strconv.Atoi(v); err == nil && mb > 0 {
+			cfg.StreamBytes = int64(mb) << 20
+		}
+	}
+	return cfg
+}
+
+// Table is a printable experiment output shaped like the paper's report.
+type Table struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Columns    []string
+	Rows       [][]string
+	Notes      []string
+}
+
+// Result pairs the table with named metrics for programmatic checks.
+type Result struct {
+	Table   *Table
+	Metrics map[string]float64
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.PaperClaim != "" {
+		fmt.Fprintf(w, "paper: %s\n", t.PaperClaim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	printRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func cell(format string, args ...interface{}) string { return fmt.Sprintf(format, args...) }
+
+// Runner is one experiment.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(Config) (*Result, error)
+}
+
+// All lists every experiment in order.
+func All() []Runner {
+	return []Runner{
+		{"e1", "prelim-indexing", E1PrelimIndexing},
+		{"e2", "dedup", E2Dedup},
+		{"e3", "compression", E3Compression},
+		{"e4", "integration", E4Integration},
+		{"e5", "calibration", E5Calibration},
+		{"e6", "index-memory", E6IndexMemory},
+		{"e7", "endurance", E7Endurance},
+		{"e8", "bin-scaling", E8BinScaling},
+		{"e9", "binbuffer-ablation", E9BinBuffer},
+		{"e10", "subblock-overlap", E10SubBlockOverlap},
+		{"e11", "shifted-cdc", E11ShiftedCDC},
+		{"e12", "volume-lifecycle", E12VolumeLifecycle},
+		{"e13", "codec-ablation", E13CodecAblation},
+		{"e14", "entropy-bypass", E14EntropyBypass},
+		{"e15", "gpu-hashing", E15GPUHashing},
+		{"e16", "write-amplification", E16WriteAmplification},
+	}
+}
+
+// Lookup finds an experiment by id (e.g. "e3").
+func Lookup(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

@@ -1,0 +1,52 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfDeviceMemory is returned by Alloc when the device memory budget
+// would be exceeded.
+var ErrOutOfDeviceMemory = errors.New("gpu: out of device memory")
+
+// Buffer is a device-memory allocation. Data holds the buffer's real
+// contents — kernels operate on it directly — while the allocation size is
+// charged against the device's memory budget.
+type Buffer struct {
+	name string
+	dev  *Device
+	Data []byte
+}
+
+// Name returns the label the buffer was allocated with.
+func (b *Buffer) Name() string { return b.name }
+
+// Size returns the allocation size in bytes.
+func (b *Buffer) Size() int { return len(b.Data) }
+
+// Alloc reserves an n-byte device buffer. It returns ErrOutOfDeviceMemory
+// if the device budget would be exceeded.
+func (d *Device) Alloc(name string, n int) (*Buffer, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("gpu: negative allocation %d for %q", n, name)
+	}
+	if d.memUsed+int64(n) > d.DeviceMemBytes {
+		return nil, fmt.Errorf("%w: %q needs %d bytes, %d of %d in use",
+			ErrOutOfDeviceMemory, name, n, d.memUsed, d.DeviceMemBytes)
+	}
+	d.memUsed += int64(n)
+	return &Buffer{name: name, dev: d, Data: make([]byte, n)}, nil
+}
+
+// Free releases a buffer's device memory. Freeing a nil or already-freed
+// buffer is a no-op.
+func (d *Device) Free(b *Buffer) {
+	if b == nil || b.Data == nil || b.dev != d {
+		return
+	}
+	d.memUsed -= int64(len(b.Data))
+	b.Data = nil
+}
+
+// MemUsed reports bytes currently allocated on the device.
+func (d *Device) MemUsed() int64 { return d.memUsed }

@@ -1,0 +1,72 @@
+package lz
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func benchChunk(fill float64) []byte {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]byte, 4096)
+	for i := 0; i < len(out); i += 64 {
+		n := int(fill * 64)
+		rng.Read(out[i : i+n])
+	}
+	return out
+}
+
+func BenchmarkCompress4KIncompressible(b *testing.B) {
+	data := benchChunk(1.0)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Compress(nil, data, DefaultParams())
+	}
+}
+
+func BenchmarkCompress4KHalfCompressible(b *testing.B) {
+	data := benchChunk(0.5)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Compress(nil, data, DefaultParams())
+	}
+}
+
+func BenchmarkCompress4KZeros(b *testing.B) {
+	data := make([]byte, 4096)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Compress(nil, data, DefaultParams())
+	}
+}
+
+func BenchmarkDecompress4K(b *testing.B) {
+	data := bytes.Repeat([]byte("inline data reduction on primary storage "), 100)[:4096]
+	blob, _ := Compress(nil, data, DefaultParams())
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(nil, blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubBlocks4Lanes(b *testing.B) {
+	data := benchChunk(0.5)
+	p := DefaultSubBlockParams()
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		CompressSubBlocks(data, p)
+	}
+}
+
+func BenchmarkPostProcess(b *testing.B) {
+	data := benchChunk(0.5)
+	res := CompressSubBlocks(data, DefaultSubBlockParams())
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := PostProcessOrRaw(nil, data, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package lz
+
+import "math"
+
+// Entropy returns the Shannon entropy of src's byte histogram in bits per
+// byte (0 for empty or constant input, up to 8 for uniform random bytes).
+// Inline reduction pipelines use it as a cheap pre-check: chunks whose
+// entropy is already near 8 bits/byte will not compress, so the encoder
+// (and, on the GPU path, the PCIe round trip) can be skipped entirely.
+func Entropy(src []byte) float64 {
+	if len(src) == 0 {
+		return 0
+	}
+	var hist [256]int
+	for _, b := range src {
+		hist[b]++
+	}
+	n := float64(len(src))
+	h := 0.0
+	for _, c := range hist {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// LikelyIncompressible reports whether a chunk's entropy exceeds the given
+// threshold in bits/byte. A threshold around 7.2 keeps ordinary text,
+// code, and zero-padded data compressible while skipping already-compressed
+// or encrypted content.
+func LikelyIncompressible(src []byte, thresholdBits float64) bool {
+	return Entropy(src) > thresholdBits
+}

@@ -1,0 +1,52 @@
+package lz
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompress: the decoder must never panic and never mis-handle
+// arbitrary input; valid blobs from both codecs must round trip.
+func FuzzDecompress(f *testing.F) {
+	for _, data := range corpus() {
+		blob, _ := Compress(nil, data, DefaultParams())
+		f.Add(blob)
+		qblob, _ := CompressQLZ(nil, data)
+		f.Add(qblob)
+	}
+	f.Add([]byte{ModeSub, 4, 2, 1, 1, 0, 0})
+	f.Add([]byte{99, 0})
+	f.Fuzz(func(t *testing.T, junk []byte) {
+		out, err := Decompress(nil, junk)
+		if err == nil && len(junk) > 0 {
+			// A valid blob must re-encode/round trip consistently.
+			re, _ := Compress(nil, out, DefaultParams())
+			back, err2 := Decompress(nil, re)
+			if err2 != nil || !bytes.Equal(back, out) {
+				t.Fatalf("re-encode of valid decode failed: %v", err2)
+			}
+		}
+	})
+}
+
+// FuzzCompressRoundTrip: both codecs must round trip any input.
+func FuzzCompressRoundTrip(f *testing.F) {
+	for _, data := range corpus() {
+		f.Add(data, true)
+		f.Add(data, false)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, useQLZ bool) {
+		codec := CodecLZSS
+		if useQLZ {
+			codec = CodecQLZ
+		}
+		blob, st := CompressCodec(codec, nil, data, DefaultParams())
+		if st.DstBytes != len(blob) {
+			t.Fatal("stats mismatch")
+		}
+		out, err := Decompress(nil, blob)
+		if err != nil || !bytes.Equal(out, data) {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

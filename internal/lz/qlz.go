@@ -1,0 +1,179 @@
+package lz
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements a QuickLZ-class codec — the paper's CPU compression
+// baseline is "parallel QuickLZ" (§6). Compared to the LZSS encoder it
+// trades ratio for speed the way QuickLZ level 1 does:
+//
+//   - single-probe match search: one hash-table slot per position, no
+//     chains (SearchSteps ≈ one per position);
+//   - greedy, unbounded-ish matches: 8-bit length field (up to 258 bytes
+//     per token) instead of LZSS's 18-byte cap, so runs collapse fast;
+//   - 32-item control words instead of per-8 flag bytes.
+//
+// Format (mode 3 payload): repeated groups of one little-endian uint32
+// control word followed by its items, LSB first; bit 0 = literal (1 byte),
+// bit 1 = match (3 bytes: 16-bit offset-1, 8-bit length-QLZMinMatch).
+const (
+	// QLZWindow is the match reach (16-bit offsets).
+	QLZWindow = 1 << 16
+	// QLZMinMatch is the shortest encodable match.
+	QLZMinMatch = 3
+	// QLZMaxMatch is the longest encodable match (8-bit length field).
+	QLZMaxMatch = QLZMinMatch + 255
+)
+
+// qlzWriter emits the control-word interleaved stream.
+type qlzWriter struct {
+	out      []byte
+	ctrlPos  int
+	ctrl     uint32
+	ctrlBit  uint
+	literals int
+	matches  int
+}
+
+func (w *qlzWriter) item(isMatch bool) {
+	if w.ctrlBit == 0 {
+		w.flushCtrl()
+		w.ctrlPos = len(w.out)
+		w.out = append(w.out, 0, 0, 0, 0)
+	}
+	if isMatch {
+		w.ctrl |= 1 << w.ctrlBit
+	}
+	w.ctrlBit++
+	if w.ctrlBit == 32 {
+		w.flushCtrl()
+	}
+}
+
+func (w *qlzWriter) flushCtrl() {
+	if w.ctrlPos+4 <= len(w.out) && (w.ctrlBit > 0 || w.ctrl != 0) {
+		binary.LittleEndian.PutUint32(w.out[w.ctrlPos:], w.ctrl)
+	}
+	w.ctrl, w.ctrlBit = 0, 0
+}
+
+func (w *qlzWriter) literal(b byte) {
+	w.item(false)
+	w.out = append(w.out, b)
+	w.literals++
+}
+
+func (w *qlzWriter) match(offset, length int) {
+	w.item(true)
+	w.out = append(w.out, byte(offset-1), byte((offset-1)>>8), byte(length-QLZMinMatch))
+	w.matches++
+}
+
+func (w *qlzWriter) finish() []byte {
+	w.flushCtrl()
+	return w.out
+}
+
+// qlzEncode compresses src with the single-probe greedy search.
+func qlzEncode(src []byte) ([]byte, Stats) {
+	var st Stats
+	st.SrcBytes = len(src)
+	var w qlzWriter
+	var table [1 << hashBits]int32
+	for i := range table {
+		table[i] = -1
+	}
+	pos := 0
+	for pos < len(src) {
+		if pos+4 > len(src) {
+			w.literal(src[pos])
+			st.Positions++
+			pos++
+			continue
+		}
+		h := hash4(binary.LittleEndian.Uint32(src[pos:]))
+		cand := table[h]
+		table[h] = int32(pos)
+		st.Positions++
+		if cand >= 0 && pos-int(cand) <= QLZWindow {
+			st.SearchSteps++
+			maxLen := len(src) - pos
+			if maxLen > QLZMaxMatch {
+				maxLen = QLZMaxMatch
+			}
+			l := matchLen(src, int(cand), pos, maxLen)
+			if l >= QLZMinMatch {
+				w.match(pos-int(cand), l)
+				// Sparse table refresh inside the match (QuickLZ skips
+				// most interior positions — part of its speed).
+				for i := pos + 1; i < pos+l && i+4 <= len(src); i += 4 {
+					table[hash4(binary.LittleEndian.Uint32(src[i:]))] = int32(i)
+				}
+				pos += l
+				continue
+			}
+		}
+		w.literal(src[pos])
+		pos++
+	}
+	out := w.finish()
+	st.Literals, st.Matches = w.literals, w.matches
+	return out, st
+}
+
+// CompressQLZ encodes src as a self-describing blob with the QuickLZ-class
+// codec (mode 3, or mode 0 raw when compression does not pay), appended to
+// dst. Decode with the regular Decompress.
+func CompressQLZ(dst, src []byte) ([]byte, Stats) {
+	tokens, st := qlzEncode(src)
+	var hdr [binary.MaxVarintLen64 + 1]byte
+	n := binary.PutUvarint(hdr[1:], uint64(len(src)))
+	if len(tokens)+n+1 >= len(src) {
+		hdr[0] = ModeRaw
+		dst = append(dst, hdr[:n+1]...)
+		dst = append(dst, src...)
+		return dst, Stats{SrcBytes: len(src), SearchSteps: st.SearchSteps,
+			Positions: st.Positions, DstBytes: n + 1 + len(src)}
+	}
+	hdr[0] = ModeQLZ
+	dst = append(dst, hdr[:n+1]...)
+	dst = append(dst, tokens...)
+	st.DstBytes = n + 1 + len(tokens)
+	return dst, st
+}
+
+// decodeQLZ decodes a mode-3 payload, appending to dst.
+func decodeQLZ(dst, stream []byte, base int) ([]byte, error) {
+	i := 0
+	for i < len(stream) {
+		if i+4 > len(stream) {
+			return dst, fmt.Errorf("%w: truncated control word", ErrCorrupt)
+		}
+		ctrl := binary.LittleEndian.Uint32(stream[i:])
+		i += 4
+		for bit := 0; bit < 32 && i < len(stream); bit++ {
+			if ctrl&(1<<uint(bit)) == 0 {
+				dst = append(dst, stream[i])
+				i++
+				continue
+			}
+			if i+3 > len(stream) {
+				return dst, fmt.Errorf("%w: truncated match token", ErrCorrupt)
+			}
+			offset := int(stream[i]) | int(stream[i+1])<<8
+			offset++
+			length := int(stream[i+2]) + QLZMinMatch
+			i += 3
+			p := len(dst)
+			if p-offset < base {
+				return dst, fmt.Errorf("%w: match offset %d reaches before output start", ErrCorrupt, offset)
+			}
+			for j := 0; j < length; j++ {
+				dst = append(dst, dst[p-offset+j])
+			}
+		}
+	}
+	return dst, nil
+}

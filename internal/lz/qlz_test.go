@@ -1,0 +1,173 @@
+package lz
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestQLZRoundTrip(t *testing.T) {
+	for name, data := range corpus() {
+		blob, st := CompressQLZ(nil, data)
+		if st.SrcBytes != len(data) || st.DstBytes != len(blob) {
+			t.Fatalf("%s: stats mismatch", name)
+		}
+		out, err := Decompress(nil, blob)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("%s: round trip mismatch", name)
+		}
+	}
+}
+
+func TestQLZCompressesRepetitiveData(t *testing.T) {
+	data := corpus()
+	for _, name := range []string{"zeros", "text", "periodic"} {
+		_, st := CompressQLZ(nil, data[name])
+		if st.Ratio() < 2.0 {
+			t.Errorf("%s: ratio %.2f, want >= 2", name, st.Ratio())
+		}
+	}
+}
+
+func TestQLZLongMatchesBeatLZSSOnZeros(t *testing.T) {
+	// QLZ's 258-byte matches collapse runs harder than LZSS's 18-byte cap.
+	data := make([]byte, 4096)
+	_, qlz := CompressQLZ(nil, data)
+	_, lzss := Compress(nil, data, DefaultParams())
+	if qlz.DstBytes >= lzss.DstBytes {
+		t.Fatalf("qlz should beat lzss on runs: %d vs %d", qlz.DstBytes, lzss.DstBytes)
+	}
+}
+
+func TestQLZFasterSearchThanLZSS(t *testing.T) {
+	// The speed model: single-probe search does far fewer steps than
+	// hash-chain search on matchy data — the QuickLZ tradeoff.
+	data := corpus()["text"]
+	_, qlz := CompressQLZ(nil, data)
+	_, lzss := Compress(nil, data, Params{MaxChain: 64})
+	if qlz.SearchSteps >= lzss.SearchSteps {
+		t.Fatalf("qlz searched more than deep lzss: %d vs %d", qlz.SearchSteps, lzss.SearchSteps)
+	}
+	if qlz.SearchSteps > qlz.Positions {
+		t.Fatalf("single probe means steps (%d) <= positions (%d)", qlz.SearchSteps, qlz.Positions)
+	}
+}
+
+func TestQLZRandomDataStoredRaw(t *testing.T) {
+	blob, st := CompressQLZ(nil, corpus()["random"])
+	if blob[0] != ModeRaw {
+		t.Fatalf("random data should store raw, mode %d", blob[0])
+	}
+	if st.Ratio() > 1.0 {
+		t.Fatalf("raw ratio %g", st.Ratio())
+	}
+}
+
+func TestQLZMaxMatchBoundary(t *testing.T) {
+	// A run longer than QLZMaxMatch forces multiple max-length tokens.
+	data := append([]byte("start"), bytes.Repeat([]byte{7}, 3*QLZMaxMatch+11)...)
+	blob, _ := CompressQLZ(nil, data)
+	out, err := Decompress(nil, blob)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("max-match boundary round trip: %v", err)
+	}
+}
+
+func TestCodecDispatch(t *testing.T) {
+	data := corpus()["text"]
+	for _, c := range []Codec{CodecLZSS, CodecQLZ} {
+		blob, st := CompressCodec(c, nil, data, DefaultParams())
+		if st.DstBytes != len(blob) {
+			t.Fatalf("%s: stats mismatch", c)
+		}
+		out, err := Decompress(nil, blob)
+		if err != nil || !bytes.Equal(out, data) {
+			t.Fatalf("%s: round trip failed: %v", c, err)
+		}
+	}
+	if CodecLZSS.String() != "lzss" || CodecQLZ.String() != "qlz" || Codec(9).String() != "codec(9)" {
+		t.Fatal("codec names")
+	}
+}
+
+func TestQLZDecoderRejectsCorruption(t *testing.T) {
+	cases := map[string][]byte{
+		"truncated control": {ModeQLZ, 8, 0x01, 0x00},
+		"truncated match":   {ModeQLZ, 8, 0x01, 0x00, 0x00, 0x00, 0x05},
+		"bad offset":        {ModeQLZ, 3, 0x01, 0x00, 0x00, 0x00, 0xFF, 0x00, 0x00},
+	}
+	for name, b := range cases {
+		if _, err := Decompress(nil, b); err == nil {
+			t.Errorf("%s: should be rejected", name)
+		}
+	}
+}
+
+// Property: QLZ round trips for arbitrary inputs.
+func TestQLZRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		blob, _ := CompressQLZ(nil, data)
+		out, err := Decompress(nil, blob)
+		return err == nil && bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: repetitive inputs round trip and never expand past the raw
+// fallback bound under both codecs.
+func TestBothCodecsBoundedExpansionProperty(t *testing.T) {
+	f := func(pat []byte, repRaw uint8) bool {
+		if len(pat) == 0 {
+			pat = []byte{0}
+		}
+		data := bytes.Repeat(pat, int(repRaw)+1)
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		for _, c := range []Codec{CodecLZSS, CodecQLZ} {
+			blob, _ := CompressCodec(c, nil, data, DefaultParams())
+			if len(blob) > len(data)+6 {
+				return false
+			}
+			out, err := Decompress(nil, blob)
+			if err != nil || !bytes.Equal(out, data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if Entropy(nil) != 0 {
+		t.Fatal("empty entropy should be 0")
+	}
+	if Entropy(make([]byte, 1024)) != 0 {
+		t.Fatal("constant input entropy should be 0")
+	}
+	uniform := make([]byte, 256*16)
+	for i := range uniform {
+		uniform[i] = byte(i)
+	}
+	if h := Entropy(uniform); h < 7.99 || h > 8.01 {
+		t.Fatalf("uniform bytes entropy %g, want ~8", h)
+	}
+	text := corpus()["text"]
+	if h := Entropy(text); h <= 2 || h >= 6 {
+		t.Fatalf("english-ish text entropy %g, want mid-range", h)
+	}
+	if !LikelyIncompressible(corpus()["random"], 7.2) {
+		t.Fatal("random bytes should be flagged incompressible")
+	}
+	if LikelyIncompressible(text, 7.2) {
+		t.Fatal("text should not be flagged incompressible")
+	}
+}

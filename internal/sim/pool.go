@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Pool is a k-server resource on the virtual clock: a CPU with k hardware
+// threads, a GPU command queue (k=1), or an SSD channel set. Jobs are placed
+// on the earliest-free server in arrival order. Pool is not safe for
+// concurrent use; the simulation driver is single-threaded by design so runs
+// are exactly reproducible.
+type Pool struct {
+	name    string
+	free    freeHeap // next-free time per server
+	busy    time.Duration
+	gap     time.Duration // arrival-after-free idle committed by Acquire
+	jobs    int64
+	horizon time.Duration // latest completion time scheduled so far
+}
+
+// NewPool returns a Pool with k servers, all free at virtual time 0.
+// It panics if k < 1.
+func NewPool(name string, k int) *Pool {
+	if k < 1 {
+		panic(fmt.Sprintf("sim: pool %q needs at least one server, got %d", name, k))
+	}
+	p := &Pool{name: name, free: make(freeHeap, k)}
+	heap.Init(&p.free)
+	return p
+}
+
+// Name returns the label the pool was created with.
+func (p *Pool) Name() string { return p.name }
+
+// Servers returns the number of servers in the pool.
+func (p *Pool) Servers() int { return len(p.free) }
+
+// Acquire schedules a job that arrives at virtual time at and needs service
+// time d. It returns the job's start and completion times. A zero or
+// negative d occupies the server for no time but still respects queueing
+// (start may be later than at).
+func (p *Pool) Acquire(at, d time.Duration) (start, end time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	start = MaxTime(at, p.free[0])
+	if at > p.free[0] {
+		p.gap += at - p.free[0]
+	}
+	end = start + d
+	p.free[0] = end
+	heap.Fix(&p.free, 0)
+	p.busy += d
+	p.jobs++
+	if end > p.horizon {
+		p.horizon = end
+	}
+	return start, end
+}
+
+// AcquireAll schedules a job that needs every server simultaneously (for
+// example a barrier-style flush). It starts when the last server frees up.
+func (p *Pool) AcquireAll(at, d time.Duration) (start, end time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	start = at
+	for _, f := range p.free {
+		start = MaxTime(start, f)
+	}
+	end = start + d
+	for i := range p.free {
+		p.free[i] = end
+	}
+	heap.Init(&p.free)
+	p.busy += d * time.Duration(len(p.free))
+	p.jobs++
+	if end > p.horizon {
+		p.horizon = end
+	}
+	return start, end
+}
+
+// NextFree reports when the earliest server becomes free.
+func (p *Pool) NextFree() time.Duration { return p.free[0] }
+
+// Backlog reports how far behind the pool is at virtual time at: zero when a
+// server is idle, otherwise the wait a new arrival would experience.
+func (p *Pool) Backlog(at time.Duration) time.Duration {
+	if p.free[0] <= at {
+		return 0
+	}
+	return p.free[0] - at
+}
+
+// Saturated reports whether every server is busy past virtual time at. The
+// integrated pipeline uses this as the paper's "CPU utilization is full"
+// signal when deciding whether to offload indexing to the GPU.
+func (p *Pool) Saturated(at time.Duration) bool {
+	return p.free[0] > at
+}
+
+// Horizon reports the latest completion time scheduled so far.
+func (p *Pool) Horizon() time.Duration { return p.horizon }
+
+// GapTime reports idle time committed because jobs arrived after the
+// earliest server freed (dependency bubbles).
+func (p *Pool) GapTime() time.Duration { return p.gap }
+
+// BusyTime reports the total server-busy virtual time accumulated so far.
+func (p *Pool) BusyTime() time.Duration { return p.busy }
+
+// Jobs reports how many jobs have been scheduled.
+func (p *Pool) Jobs() int64 { return p.jobs }
+
+// Utilization reports mean server utilization in [0,1] over the window from
+// time 0 to the given end time (typically the pipeline completion time).
+func (p *Pool) Utilization(until time.Duration) float64 {
+	if until <= 0 {
+		return 0
+	}
+	return p.busy.Seconds() / (until.Seconds() * float64(len(p.free)))
+}
+
+// Reset returns every server to free-at-0 and clears statistics.
+func (p *Pool) Reset() {
+	for i := range p.free {
+		p.free[i] = 0
+	}
+	p.busy, p.gap, p.jobs, p.horizon = 0, 0, 0, 0
+}
+
+// freeHeap is a min-heap of per-server next-free times.
+type freeHeap []time.Duration
+
+func (h freeHeap) Len() int            { return len(h) }
+func (h freeHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h freeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *freeHeap) Push(x interface{}) { *h = append(*h, x.(time.Duration)) }
+func (h *freeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

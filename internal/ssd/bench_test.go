@@ -1,0 +1,31 @@
+package ssd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkSequentialWrite(b *testing.B) {
+	d := New(DefaultConfig())
+	logical := d.LogicalPages()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Write(0, int64(i)%logical, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomOverwrite(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.BlocksPerChannel = 64
+	d := New(cfg)
+	logical := d.LogicalPages()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Write(0, rng.Int63n(logical), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead: the parser must never panic, and whatever it accepts must
+// serialize and re-parse to the same records.
+func FuzzRead(f *testing.F) {
+	f.Add("W 1 2\nR 1\nT 4\n")
+	f.Add("# comment\n\nW 0 0\n")
+	f.Add("X garbage")
+	f.Fuzz(func(t *testing.T, in string) {
+		recs, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, recs); err != nil {
+			t.Fatalf("accepted records failed to serialize: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil || len(again) != len(recs) {
+			t.Fatalf("canonical form did not re-parse: %v", err)
+		}
+		for i := range recs {
+			want := recs[i]
+			if want.Op != OpWrite {
+				want.Content = 0
+			}
+			if again[i] != want {
+				t.Fatalf("record %d drifted: %+v vs %+v", i, again[i], want)
+			}
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"inlinered/internal/volume"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Op: OpWrite, LBA: 0, Content: 42},
+		{Op: OpRead, LBA: 7},
+		{Op: OpTrim, LBA: 9},
+		{Op: OpWrite, LBA: 1 << 40, Content: -3},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip: %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nW 1 2\n  # indented comment\nR 1\n"
+	recs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records: %d", len(recs))
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"X 1",
+		"W 1",
+		"W 1 2 3",
+		"R",
+		"W abc 1",
+		"R -5",
+		"W 1 99999999999999999999",
+	}
+	for _, in := range bad {
+		if _, err := Read(strings.NewReader(in)); !errors.Is(err, ErrFormat) {
+			t.Errorf("%q: want ErrFormat, got %v", in, err)
+		}
+	}
+}
+
+func TestWriteRejectsUnknownOp(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, []Record{{Op: 'Z'}}); err == nil {
+		t.Fatal("unknown op should fail to serialize")
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	bad := []SynthSpec{
+		{Ops: 0, Blocks: 10, DedupRatio: 1},
+		{Ops: 10, Blocks: 0, DedupRatio: 1},
+		{Ops: 10, Blocks: 10, DedupRatio: 0.5},
+		{Ops: 10, Blocks: 10, DedupRatio: 1, WriteFrac: 0.8, TrimFrac: 0.3},
+		{Ops: 10, Blocks: 10, DedupRatio: 1, Hotspot: 2},
+	}
+	for i, sp := range bad {
+		if _, err := Synthesize(sp); err == nil {
+			t.Errorf("case %d should be rejected", i)
+		}
+	}
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	spec := SynthSpec{Ops: 2000, Blocks: 100, WriteFrac: 0.5, TrimFrac: 0.1, DedupRatio: 2, Hotspot: 0.8, Seed: 1}
+	recs, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2000+100 {
+		t.Fatalf("records: %d", len(recs))
+	}
+	// The fill pass covers every LBA.
+	for i := int64(0); i < 100; i++ {
+		if recs[i].Op != OpWrite || recs[i].LBA != i {
+			t.Fatalf("fill pass broken at %d: %+v", i, recs[i])
+		}
+	}
+	var w, r, tr, hot int
+	for _, rec := range recs[100:] {
+		switch rec.Op {
+		case OpWrite:
+			w++
+		case OpRead:
+			r++
+		case OpTrim:
+			tr++
+		}
+		if rec.LBA < 10 {
+			hot++
+		}
+	}
+	if w < 800 || w > 1200 || tr < 100 || tr > 320 {
+		t.Fatalf("mix off: w=%d r=%d t=%d", w, r, tr)
+	}
+	// Hotspot: ~80% of ops on the first 10% of blocks.
+	if hot < 1400 {
+		t.Fatalf("hotspot not concentrated: %d/2000", hot)
+	}
+	// Deterministic.
+	again, _ := Synthesize(spec)
+	for i := range recs {
+		if recs[i] != again[i] {
+			t.Fatal("synthesis must be deterministic")
+		}
+	}
+}
+
+func smallVolume(t *testing.T) (*volume.Volume, volume.Config) {
+	t.Helper()
+	cfg := volume.DefaultConfig()
+	cfg.Blocks = 4096
+	cfg.SSD.BlocksPerChannel = 128
+	cfg.SegmentBytes = 256 << 10
+	v, err := volume.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, cfg
+}
+
+func TestReplay(t *testing.T) {
+	recs, err := Synthesize(SynthSpec{
+		Ops: 3000, Blocks: 256, WriteFrac: 0.6, TrimFrac: 0.05,
+		DedupRatio: 2, Hotspot: 0.5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, cfg := smallVolume(t)
+	rep, err := Replay(vol, recs, cfg, ReplayOptions{CleanEvery: 512, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Writes == 0 || rep.Reads == 0 || rep.Trims == 0 {
+		t.Fatalf("mix missing: %+v", rep)
+	}
+	if rep.Writes+rep.Reads+rep.Trims != int64(rep.Ops) {
+		t.Fatal("op accounting broken")
+	}
+	if rep.WriteLat.P50 <= 0 || rep.WriteLat.P99 < rep.WriteLat.P50 {
+		t.Fatalf("write latency percentiles: %+v", rep.WriteLat)
+	}
+	if rep.Volume.DedupHits == 0 {
+		t.Fatal("dedup ratio 2 trace should produce hits")
+	}
+	if rep.Elapsed <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if s := rep.String(); !strings.Contains(s, "p99") || !strings.Contains(s, "reduction") {
+		t.Fatalf("report rendering: %s", s)
+	}
+}
+
+func TestReplayRejectsOutOfRange(t *testing.T) {
+	vol, cfg := smallVolume(t)
+	_, err := Replay(vol, []Record{{Op: OpWrite, LBA: 1 << 40, Content: 1}}, cfg, ReplayOptions{})
+	if err == nil {
+		t.Fatal("out-of-range write should fail the replay")
+	}
+}
+
+// Property: serialize→parse is identity for arbitrary valid records.
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(ops []uint8, lbas []int64, contents []int32) bool {
+		n := len(ops)
+		if len(lbas) < n {
+			n = len(lbas)
+		}
+		if len(contents) < n {
+			n = len(contents)
+		}
+		recs := make([]Record, 0, n)
+		kinds := []Op{OpWrite, OpRead, OpTrim}
+		for i := 0; i < n; i++ {
+			lba := lbas[i]
+			if lba < 0 {
+				lba = -lba
+			}
+			if lba < 0 { // MinInt64
+				lba = 0
+			}
+			recs = append(recs, Record{Op: kinds[int(ops[i])%3], LBA: lba, Content: contents[i]})
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, recs); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			want := recs[i]
+			if want.Op != OpWrite {
+				want.Content = 0
+			}
+			if got[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package volume
+
+import (
+	"container/list"
+
+	"inlinered/internal/dedup"
+)
+
+// blockCache is a content-addressed LRU read cache over decompressed
+// chunks. Keying by fingerprint rather than LBA has two nice properties in
+// a deduplicating array: a cached chunk serves reads of *every* block that
+// maps to it, and entries can never go stale — an overwrite changes the
+// block's fingerprint mapping, it never mutates chunk content.
+type blockCache struct {
+	capBytes  int64
+	usedBytes int64
+	lru       *list.List // front = most recent; values are *cacheEntry
+	byFP      map[dedup.Fingerprint]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	fp   dedup.Fingerprint
+	data []byte
+}
+
+// newBlockCache returns a cache bounded to capBytes of payload (nil-safe
+// zero capacity disables caching).
+func newBlockCache(capBytes int64) *blockCache {
+	return &blockCache{
+		capBytes: capBytes,
+		lru:      list.New(),
+		byFP:     make(map[dedup.Fingerprint]*list.Element),
+	}
+}
+
+// get returns the cached block and promotes it, or nil on a miss.
+func (c *blockCache) get(fp dedup.Fingerprint) []byte {
+	if c.capBytes <= 0 {
+		return nil
+	}
+	el, ok := c.byFP[fp]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).data
+}
+
+// put inserts a block, evicting from the LRU tail to stay within capacity.
+// Oversized blocks are simply not cached.
+func (c *blockCache) put(fp dedup.Fingerprint, data []byte) {
+	if c.capBytes <= 0 || int64(len(data)) > c.capBytes {
+		return
+	}
+	if el, ok := c.byFP[fp]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.usedBytes+int64(len(data)) > c.capBytes {
+		tail := c.lru.Back()
+		if tail == nil {
+			break
+		}
+		e := tail.Value.(*cacheEntry)
+		c.lru.Remove(tail)
+		delete(c.byFP, e.fp)
+		c.usedBytes -= int64(len(e.data))
+	}
+	// Own a private copy: the caller keeps (and may mutate) its slice.
+	owned := make([]byte, len(data))
+	copy(owned, data)
+	c.byFP[fp] = c.lru.PushFront(&cacheEntry{fp: fp, data: owned})
+	c.usedBytes += int64(len(data))
+}
+
+// len returns the number of cached blocks.
+func (c *blockCache) len() int { return c.lru.Len() }

@@ -1,0 +1,473 @@
+// Package volume layers block-device semantics over the inline data
+// reduction substrates — the "primary storage system" the paper's pipeline
+// serves. Where internal/core measures open-loop stream throughput (the
+// paper's evaluation), Volume implements the full storage lifecycle a
+// primary array needs around the reduction pipeline:
+//
+//   - LBA-addressed writes and reads at block (= chunk) granularity;
+//   - reference-counted chunk storage, so overwriting or trimming a block
+//     releases its chunk when the last reference disappears;
+//   - a log-structured store with dead-byte accounting and segment
+//     cleaning, so reclaimed space is actually reusable;
+//   - the inline reduction write path itself: fingerprint → bin-index
+//     lookup → LZSS compression → log append, all on the virtual clock.
+//
+// Volume is a closed-loop, latency-oriented consumer of the substrates (one
+// outstanding request; each operation reports its virtual latency), which
+// complements the engine's open-loop throughput measurements. The GPU
+// offload paths stay in internal/core; Volume uses the CPU path.
+package volume
+
+import (
+	"fmt"
+	"time"
+
+	"inlinered/internal/cpusim"
+	"inlinered/internal/dedup"
+	"inlinered/internal/lz"
+	"inlinered/internal/ssd"
+)
+
+// Config describes a volume.
+type Config struct {
+	BlockSize int   // block = chunk size in bytes
+	Blocks    int64 // logical capacity in blocks
+	Compress  bool  // compress unique chunks
+	Codec     lz.Codec
+	Index     dedup.IndexConfig
+	LZ        lz.Params
+	CPU       cpusim.Config
+	SSD       ssd.Config
+	// SegmentBytes is the log segment size for space accounting and
+	// cleaning; CleanThreshold is the garbage fraction at which a segment
+	// becomes a cleaning candidate.
+	SegmentBytes   int
+	CleanThreshold float64
+	// CacheBytes bounds the content-addressed DRAM read cache (0 disables
+	// it). Cached blocks serve reads without SSD pages or decompression.
+	CacheBytes int64
+}
+
+// DefaultConfig returns a small-testbed volume: 4 KB blocks on the paper's
+// CPU and SSD models.
+func DefaultConfig() Config {
+	return Config{
+		BlockSize:      4096,
+		Blocks:         1 << 18, // 1 GiB logical
+		Compress:       true,
+		Index:          dedup.DefaultIndexConfig(),
+		LZ:             lz.DefaultParams(),
+		CPU:            cpusim.DefaultConfig(),
+		SSD:            ssd.DefaultConfig(),
+		SegmentBytes:   4 << 20,
+		CleanThreshold: 0.5,
+		CacheBytes:     16 << 20,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.BlockSize < 64 {
+		return fmt.Errorf("volume: block size must be >= 64, got %d", c.BlockSize)
+	}
+	if c.Blocks < 1 {
+		return fmt.Errorf("volume: need at least one block")
+	}
+	if c.SegmentBytes < c.BlockSize*4 {
+		return fmt.Errorf("volume: segment must hold several blocks, got %d", c.SegmentBytes)
+	}
+	if c.CleanThreshold <= 0 || c.CleanThreshold >= 1 {
+		return fmt.Errorf("volume: clean threshold must be in (0,1), got %g", c.CleanThreshold)
+	}
+	return c.Index.Validate()
+}
+
+// chunkRef is the refcounted record of one stored unique chunk.
+type chunkRef struct {
+	fp   dedup.Fingerprint
+	loc  int64 // byte offset in the log
+	size int32 // stored blob bytes
+	refs int32
+}
+
+// segment tracks one log segment's occupancy.
+type segment struct {
+	live int64 // live blob bytes
+	used int64 // appended blob bytes (live + dead)
+}
+
+// logCursor is the current append position: a segment and an offset into it.
+type logCursor struct {
+	seg int
+	off int64
+}
+
+// Stats reports volume space and activity accounting.
+type Stats struct {
+	Writes, Reads, Trims int64
+	DedupHits            int64
+	CacheHits            int64
+	LogicalBytes         int64 // live user data (mapped blocks × block size)
+	StoredBytes          int64 // live compressed bytes in the log
+	LogBytes             int64 // total log bytes appended (live + dead)
+	GarbageBytes         int64 // dead bytes awaiting cleaning
+	CleanRuns            int64
+	MovedBytes           int64 // live bytes rewritten by the cleaner
+}
+
+// ReductionRatio reports logical bytes per stored byte.
+func (s Stats) ReductionRatio() float64 {
+	if s.StoredBytes == 0 {
+		return 0
+	}
+	return float64(s.LogicalBytes) / float64(s.StoredBytes)
+}
+
+// Volume is a deduplicating, compressing block device on the virtual clock.
+// It is not safe for concurrent use.
+type Volume struct {
+	cfg   Config
+	cpu   *cpusim.CPU
+	drive *ssd.Drive
+	index *dedup.BinIndex
+
+	lbaMap map[int64]dedup.Fingerprint // mapped blocks
+	chunks map[dedup.Fingerprint]*chunkRef
+	blobs  map[int64][]byte // log offset -> stored blob (host copy)
+
+	segments []segment
+	freeSegs []int // cleaned segments available for reuse
+	cur      logCursor
+	maxSegs  int
+
+	cache *blockCache
+
+	now   time.Duration // closed-loop clock: completion of the last request
+	stats Stats
+}
+
+// New builds a volume.
+func New(cfg Config) (*Volume, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	v := &Volume{
+		cfg:    cfg,
+		cpu:    cpusim.New(cfg.CPU),
+		drive:  ssd.New(cfg.SSD),
+		lbaMap: make(map[int64]dedup.Fingerprint),
+		chunks: make(map[dedup.Fingerprint]*chunkRef),
+		blobs:  make(map[int64][]byte),
+	}
+	idx, err := dedup.NewBinIndex(cfg.Index)
+	if err != nil {
+		return nil, err
+	}
+	v.index = idx
+	logBytes := v.drive.LogicalPages() * int64(v.drive.PageSize)
+	v.maxSegs = int(logBytes / int64(cfg.SegmentBytes))
+	if v.maxSegs < 2 {
+		return nil, fmt.Errorf("volume: drive too small for two %d-byte segments", cfg.SegmentBytes)
+	}
+	v.segments = append(v.segments, segment{})
+	v.cache = newBlockCache(cfg.CacheBytes)
+	return v, nil
+}
+
+// Now returns the volume's virtual clock (completion time of the last
+// request).
+func (v *Volume) Now() time.Duration { return v.now }
+
+// Stats returns space and activity accounting.
+func (v *Volume) Stats() Stats { return v.stats }
+
+// Drive exposes the underlying SSD for endurance inspection.
+func (v *Volume) Drive() *ssd.Drive { return v.drive }
+
+func (v *Volume) segOf(loc int64) int { return int(loc / int64(v.cfg.SegmentBytes)) }
+
+func (v *Volume) segAt(i int) *segment {
+	for len(v.segments) <= i {
+		v.segments = append(v.segments, segment{})
+	}
+	return &v.segments[i]
+}
+
+// Write stores one block at lba through the inline reduction path and
+// returns the request's virtual latency.
+func (v *Volume) Write(lba int64, data []byte) (time.Duration, error) {
+	if lba < 0 || lba >= v.cfg.Blocks {
+		return 0, fmt.Errorf("volume: lba %d outside [0,%d)", lba, v.cfg.Blocks)
+	}
+	if len(data) != v.cfg.BlockSize {
+		return 0, fmt.Errorf("volume: write of %d bytes, block size is %d", len(data), v.cfg.BlockSize)
+	}
+	start := v.now
+	cost := v.cpu.Cost
+
+	// Fingerprint + index probe (Figure 1's CPU path).
+	fp := dedup.Sum(data)
+	_, t := v.cpu.Run(v.now, cost.ChunkCycles(len(data))+cost.HashCycles(len(data))+cost.StageOverheadCycles)
+	p := v.index.Lookup(fp)
+	_, t = v.cpu.Run(t, cost.ProbeCycles(p.BufferScanned, p.TreeSteps))
+
+	// The chunk store is authoritative for the duplicate decision (the
+	// probe above charges the index work); a stored chunk is referenced
+	// even if a capped index evicted its entry.
+	if ref, ok := v.chunks[fp]; ok {
+		ref.refs++
+		v.stats.DedupHits++
+	} else {
+		// Unique: compress, append to the log, index it.
+		var blob []byte
+		var cycles float64
+		if v.cfg.Compress {
+			var st lz.Stats
+			blob, st = lz.CompressCodec(v.cfg.Codec, nil, data, v.cfg.LZ)
+			cycles = cost.CompressCycles(st.Positions, st.SearchSteps, st.DstBytes)
+		} else {
+			blob = lz.StoreRaw(nil, data)
+			cycles = cost.MemcpyCycles(len(blob))
+		}
+		loc, err := v.alloc(len(blob))
+		if err != nil {
+			return 0, err
+		}
+		ir := v.index.Insert(fp, dedup.Entry{Loc: loc, Size: uint32(len(blob))})
+		cycles += cost.InsertCycles + float64(ir.BufferScanned)*cost.BufferEntryCycles
+		if ir.Flush != nil {
+			cycles += float64(ir.Flush.TreeSteps) * cost.TreeStepCycles
+		}
+		_, t = v.cpu.Run(t, cycles+cost.StageOverheadCycles)
+		t, err = v.appendBlob(t, fp, loc, blob)
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	// Release the overwritten mapping last (crash-consistent ordering:
+	// the new data is referenced before the old reference drops).
+	if old, ok := v.lbaMap[lba]; ok {
+		v.deref(old)
+	} else {
+		v.stats.LogicalBytes += int64(v.cfg.BlockSize)
+	}
+	v.lbaMap[lba] = fp
+	v.stats.Writes++
+	v.now = t
+	return t - start, nil
+}
+
+// curLoc returns the byte offset of the current append position.
+func (v *Volume) curLoc() int64 {
+	return int64(v.cur.seg)*int64(v.cfg.SegmentBytes) + v.cur.off
+}
+
+// alloc reserves n contiguous log bytes (within one segment), advancing to
+// a fresh segment when the current one cannot fit the blob. Cleaned
+// segments are reused before new ones are opened.
+func (v *Volume) alloc(n int) (int64, error) {
+	if n > v.cfg.SegmentBytes {
+		return 0, fmt.Errorf("volume: blob of %d bytes exceeds segment size %d", n, v.cfg.SegmentBytes)
+	}
+	if v.cur.off+int64(n) > int64(v.cfg.SegmentBytes) {
+		// Seal this segment (the skipped tail was never written) and open
+		// the next: a cleaned segment if one is free, else a fresh one.
+		next := -1
+		if len(v.freeSegs) > 0 {
+			next = v.freeSegs[0]
+			v.freeSegs = v.freeSegs[1:]
+		} else if len(v.segments) < v.maxSegs {
+			next = len(v.segments)
+			v.segments = append(v.segments, segment{})
+		} else {
+			return 0, fmt.Errorf("volume: log full (%d segments, none free — run Clean or trim data)", v.maxSegs)
+		}
+		v.cur = logCursor{seg: next, off: 0}
+	}
+	loc := v.curLoc()
+	v.cur.off += int64(n)
+	return loc, nil
+}
+
+// appendBlob lands a unique blob at its allocated log position and
+// registers its chunkRef.
+func (v *Volume) appendBlob(at time.Duration, fp dedup.Fingerprint, loc int64, blob []byte) (time.Duration, error) {
+	end, err := v.writeLog(at, loc, len(blob))
+	if err != nil {
+		return at, err
+	}
+	v.blobs[loc] = blob
+	v.chunks[fp] = &chunkRef{fp: fp, loc: loc, size: int32(len(blob)), refs: 1}
+	seg := v.segAt(v.segOf(loc))
+	seg.live += int64(len(blob))
+	seg.used += int64(len(blob))
+	v.stats.StoredBytes += int64(len(blob))
+	v.stats.LogBytes += int64(len(blob))
+	return end, nil
+}
+
+// writeLog charges the SSD pages covering [loc, loc+n).
+func (v *Volume) writeLog(at time.Duration, loc int64, n int) (time.Duration, error) {
+	pageSize := int64(v.drive.PageSize)
+	first := loc / pageSize
+	last := (loc + int64(n) - 1) / pageSize
+	return v.drive.Write(at, first, int(last-first+1))
+}
+
+// deref drops one reference to fp, reclaiming the chunk at zero.
+func (v *Volume) deref(fp dedup.Fingerprint) {
+	ref, ok := v.chunks[fp]
+	if !ok {
+		return
+	}
+	ref.refs--
+	if ref.refs > 0 {
+		return
+	}
+	// Last reference gone: drop from index, store, and space accounting.
+	v.index.Remove(fp)
+	delete(v.chunks, fp)
+	delete(v.blobs, ref.loc)
+	v.segAt(v.segOf(ref.loc)).live -= int64(ref.size)
+	v.stats.StoredBytes -= int64(ref.size)
+	v.stats.GarbageBytes += int64(ref.size)
+}
+
+// Read returns the block at lba (zeros when unmapped) and the request's
+// virtual latency.
+func (v *Volume) Read(lba int64) ([]byte, time.Duration, error) {
+	if lba < 0 || lba >= v.cfg.Blocks {
+		return nil, 0, fmt.Errorf("volume: lba %d outside [0,%d)", lba, v.cfg.Blocks)
+	}
+	start := v.now
+	fp, ok := v.lbaMap[lba]
+	if !ok {
+		// Unmapped: the array synthesizes zeros without touching media.
+		v.stats.Reads++
+		return make([]byte, v.cfg.BlockSize), 0, nil
+	}
+	// Content-addressed cache: a hit skips the SSD and the decoder, paying
+	// one staging copy.
+	if data := v.cache.get(fp); data != nil {
+		_, t := v.cpu.Run(v.now, v.cpu.Cost.MemcpyCycles(len(data))+v.cpu.Cost.StageOverheadCycles)
+		v.stats.Reads++
+		v.stats.CacheHits++
+		v.now = t
+		out := make([]byte, len(data))
+		copy(out, data)
+		return out, t - start, nil
+	}
+
+	ref := v.chunks[fp]
+	blob := v.blobs[ref.loc]
+
+	// SSD read of the pages holding the blob, then CPU decompression.
+	pageSize := int64(v.drive.PageSize)
+	first := ref.loc / pageSize
+	last := (ref.loc + int64(ref.size) - 1) / pageSize
+	t := v.drive.Read(v.now, first, int(last-first+1))
+	out, err := lz.Decompress(nil, blob)
+	if err != nil {
+		return nil, 0, fmt.Errorf("volume: lba %d: %w", lba, err)
+	}
+	_, t = v.cpu.Run(t, v.cpu.Cost.DecompressCycles(len(out))+v.cpu.Cost.StageOverheadCycles)
+	v.cache.put(fp, out)
+	v.stats.Reads++
+	v.now = t
+	return out, t - start, nil
+}
+
+// Trim unmaps a block, releasing its chunk reference.
+func (v *Volume) Trim(lba int64) error {
+	if lba < 0 || lba >= v.cfg.Blocks {
+		return fmt.Errorf("volume: lba %d outside [0,%d)", lba, v.cfg.Blocks)
+	}
+	if fp, ok := v.lbaMap[lba]; ok {
+		delete(v.lbaMap, lba)
+		v.deref(fp)
+		v.stats.LogicalBytes -= int64(v.cfg.BlockSize)
+	}
+	v.stats.Trims++
+	return nil
+}
+
+// Clean compacts log segments whose garbage fraction exceeds the threshold:
+// live blobs are read and re-appended (charging SSD and CPU time), and the
+// segment's space returns to the free pool. Returns the number of segments
+// cleaned.
+func (v *Volume) Clean() (int, error) {
+	cleaned := 0
+	// The active segment is never cleaned.
+	for i := range v.segments {
+		if i == v.cur.seg {
+			continue
+		}
+		seg := &v.segments[i]
+		if seg.used == 0 {
+			continue
+		}
+		garbage := seg.used - seg.live
+		if float64(garbage)/float64(seg.used) < v.cfg.CleanThreshold {
+			continue
+		}
+		if err := v.cleanSegment(i); err != nil {
+			return cleaned, err
+		}
+		cleaned++
+	}
+	return cleaned, nil
+}
+
+// cleanSegment moves a segment's live blobs to the log head.
+func (v *Volume) cleanSegment(i int) error {
+	segStart := int64(i) * int64(v.cfg.SegmentBytes)
+	segEnd := segStart + int64(v.cfg.SegmentBytes)
+	v.stats.CleanRuns++
+
+	// Collect live chunks resident in this segment.
+	var live []*chunkRef
+	for _, ref := range v.chunks {
+		if ref.loc >= segStart && ref.loc < segEnd {
+			live = append(live, ref)
+		}
+	}
+	t := v.now
+	pageSize := int64(v.drive.PageSize)
+	for _, ref := range live {
+		blob := v.blobs[ref.loc]
+		// Read the blob's pages, re-append at the log head.
+		first := ref.loc / pageSize
+		last := (ref.loc + int64(ref.size) - 1) / pageSize
+		t = v.drive.Read(t, first, int(last-first+1))
+		newLoc, err := v.alloc(len(blob))
+		if err != nil {
+			return fmt.Errorf("volume: during cleaning: %w", err)
+		}
+		end, err := v.writeLog(t, newLoc, len(blob))
+		if err != nil {
+			return err
+		}
+		t = end
+		delete(v.blobs, ref.loc)
+		v.blobs[newLoc] = blob
+		ref.loc = newLoc
+		// Keep the index pointing at the moved blob.
+		v.index.Insert(ref.fp, dedup.Entry{Loc: newLoc, Size: uint32(ref.size)})
+		ns := v.segAt(v.segOf(newLoc))
+		ns.live += int64(ref.size)
+		ns.used += int64(ref.size)
+		v.stats.MovedBytes += int64(ref.size)
+		v.stats.LogBytes += int64(ref.size)
+		_, t = v.cpu.Run(t, v.cpu.Cost.MemcpyCycles(len(blob)))
+	}
+	seg := &v.segments[i]
+	v.stats.GarbageBytes -= seg.used - seg.live
+	seg.live, seg.used = 0, 0
+	v.freeSegs = append(v.freeSegs, i)
+	// Trim the reclaimed segment's pages so the FTL can reuse them.
+	segStartPage := int64(i) * int64(v.cfg.SegmentBytes) / pageSize
+	v.drive.Trim(segStartPage, v.cfg.SegmentBytes/int(pageSize))
+	v.now = t
+	return nil
+}

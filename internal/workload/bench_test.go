@@ -1,0 +1,25 @@
+package workload
+
+import (
+	"io"
+	"testing"
+)
+
+func BenchmarkGenerate64M(b *testing.B) {
+	b.SetBytes(64 << 20)
+	for i := 0; i < b.N; i++ {
+		s, err := New(Spec{TotalBytes: 64 << 20, ChunkSize: 4096, DedupRatio: 2, CompRatio: 2, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCalibrateFill(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CalibrateFill(2.0, 4096, int64(i))
+	}
+}

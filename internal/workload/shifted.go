@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+)
+
+// ShiftSpec describes a shifted-duplicate stream: a corpus of files, each
+// re-emitted several times with a random number of bytes inserted at its
+// front. Fixed-size chunking loses almost all duplicate detection on the
+// shifted copies (every boundary moves), while content-defined chunking
+// resynchronizes — the classic motivation for CDC, used by the E11
+// extension experiment.
+type ShiftSpec struct {
+	Files    int     // distinct files in the corpus
+	FileSize int     // bytes per file
+	Repeats  int     // total emissions per file (first + shifted copies)
+	MaxShift int     // maximum inserted prefix per re-emission
+	Fill     float64 // random-byte fraction (compressibility), as UniqueChunk
+	Seed     int64
+}
+
+// Validate reports whether the spec is usable.
+func (s ShiftSpec) Validate() error {
+	if s.Files < 1 || s.FileSize < 1024 || s.Repeats < 1 {
+		return fmt.Errorf("workload: shifted spec needs files>=1, filesize>=1024, repeats>=1: %+v", s)
+	}
+	if s.MaxShift < 0 || s.MaxShift >= s.FileSize {
+		return fmt.Errorf("workload: MaxShift must be in [0, filesize): %+v", s)
+	}
+	return nil
+}
+
+// NewShifted materializes a shifted-duplicate stream. The emission order
+// interleaves files round-robin so repeats are spread across the stream.
+func NewShifted(spec ShiftSpec) (*bytes.Reader, int64, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, 0, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	files := make([][]byte, spec.Files)
+	for i := range files {
+		// Reuse the calibrated chunk filler for deterministic content with
+		// controllable compressibility.
+		var f []byte
+		for len(f) < spec.FileSize {
+			f = append(f, UniqueChunk(spec.Seed+1, int32(i*1024+len(f)/4096), 4096, spec.Fill)...)
+		}
+		files[i] = f[:spec.FileSize]
+	}
+	var out []byte
+	for r := 0; r < spec.Repeats; r++ {
+		for i := range files {
+			if r > 0 && spec.MaxShift > 0 {
+				shift := rng.Intn(spec.MaxShift) + 1
+				prefix := make([]byte, shift)
+				rng.Read(prefix)
+				out = append(out, prefix...)
+			}
+			out = append(out, files[i]...)
+		}
+	}
+	return bytes.NewReader(out), int64(len(out)), nil
+}

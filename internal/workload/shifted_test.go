@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"inlinered/internal/chunk"
+	"inlinered/internal/dedup"
+)
+
+func shiftSpec() ShiftSpec {
+	return ShiftSpec{Files: 4, FileSize: 128 << 10, Repeats: 3, MaxShift: 512, Fill: 0.5, Seed: 1}
+}
+
+func TestShiftedValidation(t *testing.T) {
+	bad := []func(*ShiftSpec){
+		func(s *ShiftSpec) { s.Files = 0 },
+		func(s *ShiftSpec) { s.FileSize = 100 },
+		func(s *ShiftSpec) { s.Repeats = 0 },
+		func(s *ShiftSpec) { s.MaxShift = -1 },
+		func(s *ShiftSpec) { s.MaxShift = s.FileSize },
+	}
+	for i, mut := range bad {
+		sp := shiftSpec()
+		mut(&sp)
+		if _, _, err := NewShifted(sp); err == nil {
+			t.Errorf("case %d should be rejected", i)
+		}
+	}
+}
+
+func TestShiftedSizeAndDeterminism(t *testing.T) {
+	r1, n1, err := NewShifted(shiftSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := io.ReadAll(r1)
+	if int64(len(b1)) != n1 {
+		t.Fatalf("reported %d bytes, produced %d", n1, len(b1))
+	}
+	r2, _, _ := NewShifted(shiftSpec())
+	b2, _ := io.ReadAll(r2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same spec must be deterministic")
+	}
+}
+
+func TestShiftedDefeatsFixedChunkingButNotCDC(t *testing.T) {
+	r, _, err := NewShifted(shiftSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(r)
+
+	uniqueRatio := func(c chunk.Chunker) float64 {
+		seen := map[dedup.Fingerprint]bool{}
+		total := 0
+		for {
+			ch, err := c.Next()
+			if err != nil {
+				break
+			}
+			total++
+			seen[dedup.Sum(ch.Data)] = true
+		}
+		return float64(total) / float64(len(seen))
+	}
+	fixed := uniqueRatio(chunk.NewFixed(bytes.NewReader(data), 4096))
+	cdc := uniqueRatio(chunk.NewGear(bytes.NewReader(data), chunk.DefaultGearConfig()))
+	if fixed > 1.3 {
+		t.Fatalf("fixed chunking should find almost no shifted dups: %.2f", fixed)
+	}
+	if cdc < 2.0 {
+		t.Fatalf("CDC should recover most shifted dups: %.2f", cdc)
+	}
+}
+
+func TestShiftedNoShiftDedupsWithFixed(t *testing.T) {
+	sp := shiftSpec()
+	sp.MaxShift = 0
+	r, _, err := NewShifted(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(r)
+	seen := map[dedup.Fingerprint]bool{}
+	total := 0
+	c := chunk.NewFixed(bytes.NewReader(data), 4096)
+	for {
+		ch, err := c.Next()
+		if err != nil {
+			break
+		}
+		total++
+		seen[dedup.Sum(ch.Data)] = true
+	}
+	if ratio := float64(total) / float64(len(seen)); ratio < 2.5 {
+		t.Fatalf("aligned repeats should dedup with fixed chunking: %.2f", ratio)
+	}
+}

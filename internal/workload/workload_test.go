@@ -1,0 +1,235 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+
+	"inlinered/internal/dedup"
+	"inlinered/internal/lz"
+)
+
+func spec() Spec {
+	return Spec{
+		TotalBytes: 4 << 20,
+		ChunkSize:  4096,
+		DedupRatio: 2.0,
+		CompRatio:  2.0,
+		Seed:       1,
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []func(*Spec){
+		func(s *Spec) { s.ChunkSize = 8 },
+		func(s *Spec) { s.TotalBytes = 100 },
+		func(s *Spec) { s.DedupRatio = 0.5 },
+		func(s *Spec) { s.CompRatio = 0.5 },
+	}
+	for i, mut := range bad {
+		sp := spec()
+		mut(&sp)
+		if _, err := New(sp); err == nil {
+			t.Errorf("case %d: spec should be rejected: %+v", i, sp)
+		}
+	}
+}
+
+func TestDedupRatioAchieved(t *testing.T) {
+	for _, ratio := range []float64{1.0, 1.5, 2.0, 3.0, 4.0} {
+		sp := spec()
+		sp.DedupRatio = ratio
+		s, err := New(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s.ActualDedupRatio()
+		if math.Abs(got-ratio)/ratio > 0.02 {
+			t.Errorf("ratio %g: schedule produced %g", ratio, got)
+		}
+	}
+}
+
+func TestMeasuredDedupRatioViaIndex(t *testing.T) {
+	// The real dedup index must observe the configured ratio: duplicates
+	// are byte-identical chunks, not just schedule bookkeeping.
+	s, err := New(spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[dedup.Fingerprint]bool{}
+	dups := 0
+	for i := 0; i < s.Chunks(); i++ {
+		fp := dedup.Sum(s.Chunk(i))
+		if seen[fp] {
+			dups++
+		}
+		seen[fp] = true
+	}
+	got := float64(s.Chunks()) / float64(len(seen))
+	if math.Abs(got-2.0) > 0.1 {
+		t.Fatalf("measured dedup ratio %g, want ~2.0", got)
+	}
+	if dups == 0 {
+		t.Fatal("no byte-identical duplicates generated")
+	}
+}
+
+func TestCompressionRatioCalibrated(t *testing.T) {
+	for _, ratio := range []float64{1.0, 1.5, 2.0, 3.0, 4.0} {
+		sp := spec()
+		sp.CompRatio = ratio
+		s, err := New(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var src, dst int
+		for id := int32(0); id < 32; id++ {
+			c := UniqueChunk(sp.Seed, id, sp.ChunkSize, s.fill)
+			_, st := lz.Compress(nil, c, lz.DefaultParams())
+			src += st.SrcBytes
+			dst += st.DstBytes
+		}
+		got := float64(src) / float64(dst)
+		if math.Abs(got-ratio)/ratio > 0.10 {
+			t.Errorf("target %g: measured LZSS ratio %g", ratio, got)
+		}
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	a, _ := New(spec())
+	b, _ := New(spec())
+	ba, _ := io.ReadAll(a)
+	bb, _ := io.ReadAll(b)
+	if !bytes.Equal(ba, bb) {
+		t.Fatal("same spec must generate identical bytes")
+	}
+	if int64(len(ba)) != a.Bytes() {
+		t.Fatalf("reader produced %d bytes, want %d", len(ba), a.Bytes())
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, _ := New(spec())
+	sp := spec()
+	sp.Seed = 2
+	b, _ := New(sp)
+	if bytes.Equal(a.Chunk(0), b.Chunk(0)) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestReaderMatchesChunks(t *testing.T) {
+	s, _ := New(spec())
+	all, err := io.ReadAll(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Chunks(); i += 37 {
+		want := s.Chunk(i)
+		got := all[i*s.spec.ChunkSize : (i+1)*s.spec.ChunkSize]
+		if !bytes.Equal(got, want) {
+			t.Fatalf("chunk %d differs between Read and Chunk", i)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, _ := New(spec())
+	first := make([]byte, 100)
+	io.ReadFull(s, first)
+	s.Reset()
+	again := make([]byte, 100)
+	io.ReadFull(s, again)
+	if !bytes.Equal(first, again) {
+		t.Fatal("Reset should rewind the stream")
+	}
+}
+
+func TestRecentPatternHasTemporalLocality(t *testing.T) {
+	mk := func(p RefPattern) float64 {
+		sp := spec()
+		sp.TotalBytes = 8 << 20
+		sp.DedupRatio = 3.0
+		sp.Pattern = p
+		s, err := New(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Measure mean re-reference distance (in uniques) for duplicates.
+		lastSeen := map[int32]int{}
+		uniquesBefore := map[int32]bool{}
+		var sum, n float64
+		emitted := 0
+		for i := 0; i < s.Chunks(); i++ {
+			id := s.ChunkID(i)
+			if !uniquesBefore[id] {
+				uniquesBefore[id] = true
+				emitted++
+			} else {
+				sum += float64(i - lastSeen[id])
+				n++
+			}
+			lastSeen[id] = i
+		}
+		if n == 0 {
+			t.Fatal("no duplicates")
+		}
+		return sum / n
+	}
+	recent, uniform := mk(RefRecent), mk(RefUniform)
+	if recent >= uniform {
+		t.Fatalf("RefRecent mean re-reference distance (%g) should beat RefUniform (%g)", recent, uniform)
+	}
+}
+
+func TestUniqueChunkFillBounds(t *testing.T) {
+	zeroes := UniqueChunk(1, 0, 4096, 0)
+	for _, b := range zeroes {
+		if b != 0 {
+			t.Fatal("fill=0 must be all zeros")
+		}
+	}
+	full := UniqueChunk(1, 0, 4096, 1)
+	nonzero := 0
+	for _, b := range full {
+		if b != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 4096*9/10 {
+		t.Fatalf("fill=1 should be essentially all random, %d nonzero", nonzero)
+	}
+	// Clamping.
+	if !bytes.Equal(UniqueChunk(1, 0, 128, -3), UniqueChunk(1, 0, 128, 0)) {
+		t.Fatal("negative fill should clamp to 0")
+	}
+}
+
+func TestUniqueChunksDistinct(t *testing.T) {
+	seen := map[dedup.Fingerprint]bool{}
+	for id := int32(0); id < 1000; id++ {
+		fp := dedup.Sum(UniqueChunk(7, id, 4096, 0.6))
+		if seen[fp] {
+			t.Fatalf("unique ids collided at %d", id)
+		}
+		seen[fp] = true
+	}
+}
+
+func TestCalibrateFillMonotonic(t *testing.T) {
+	f2 := CalibrateFill(2.0, 4096, 1)
+	f3 := CalibrateFill(3.0, 4096, 1)
+	f4 := CalibrateFill(4.0, 4096, 1)
+	if !(f2 > f3 && f3 > f4) {
+		t.Fatalf("higher target ratio needs fewer random bytes: %g %g %g", f2, f3, f4)
+	}
+	if CalibrateFill(1.0, 4096, 1) != 1.0 {
+		t.Fatal("ratio 1.0 should be fully random")
+	}
+	if CalibrateFill(1000, 4096, 1) != 0 {
+		t.Fatal("unreachable ratio should clamp to all-zero fill")
+	}
+}
