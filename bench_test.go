@@ -59,6 +59,51 @@ func runExperiment(b *testing.B, id string, metrics map[string]string) {
 	}
 }
 
+// BenchmarkDataPlaneWallClock measures the real (host) cost of the data
+// plane end to end: one full CPU-only dedup+compress run over a 64 MiB
+// stream (16 MiB with -short), reported in actual elapsed time and
+// allocations. The /serial case pins Parallelism to one worker; /parallel
+// uses every host core. Their Reports are bit-identical (see
+// TestParallelismDeterminism); only the wall clock and allocation profile
+// differ — this is the benchmark scripts/bench-compare.sh guards.
+func BenchmarkDataPlaneWallClock(b *testing.B) {
+	bytes := int64(64 << 20)
+	if testing.Short() {
+		bytes = 16 << 20
+	}
+	for _, bc := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // 0 = NumCPU
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			stream, err := NewStream(StreamSpec{
+				TotalBytes: bytes, DedupRatio: 2, CompressionRatio: 2, Seed: 11,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(bytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stream.Reset()
+				rep, err := Run(PaperPlatform(), Options{
+					Mode: CPUOnly, Parallelism: bc.parallelism,
+				}, stream)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Chunks == 0 {
+					b.Fatal("empty report")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE1PrelimIndexing — §3.1(3): CPU vs GPU indexing time; paper: CPU
 // 4.16–5.45× faster with a kernel-launch floor on the GPU side.
 func BenchmarkE1PrelimIndexing(b *testing.B) {

@@ -36,6 +36,7 @@ func main() {
 	qlz := flag.Bool("qlz", false, "use the QuickLZ-class CPU codec instead of LZSS")
 	bypass := flag.Bool("entropy-bypass", false, "store high-entropy chunks raw without compressing")
 	cdc := flag.Bool("cdc", false, "content-defined (Gear) chunking instead of fixed-size")
+	par := flag.Int("par", 0, "host worker threads for the real computation (0 = all cores, 1 = serial; results are identical)")
 	flag.Parse()
 
 	plat := inlinered.PaperPlatform()
@@ -50,6 +51,7 @@ func main() {
 		QuickLZ:            *qlz,
 		EntropyBypass:      *bypass,
 		ContentDefined:     *cdc,
+		Parallelism:        *par,
 	}
 
 	switch *mode {

@@ -86,6 +86,11 @@ type Options struct {
 	// ContentDefined switches chunking from fixed-size to the Gear
 	// content-defined chunker.
 	ContentDefined bool
+	// Parallelism is the number of host worker threads used for the real
+	// computation (hashing, compression). It affects only how fast the
+	// simulation runs on the host: the Report is bit-identical for every
+	// value. 0 means runtime.NumCPU(); 1 forces a serial run.
+	Parallelism int
 }
 
 // Report summarizes a run: throughput (IOPS of chunk-sized writes and
@@ -116,6 +121,7 @@ func (o Options) config() core.Config {
 	if o.ContentDefined {
 		cfg.Chunker = core.CDCChunking
 	}
+	cfg.Parallelism = o.Parallelism
 	return cfg
 }
 

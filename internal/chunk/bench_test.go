@@ -2,6 +2,7 @@ package chunk
 
 import (
 	"bytes"
+	"io"
 	"math/rand"
 	"testing"
 )
@@ -29,5 +30,75 @@ func BenchmarkGearCDC(b *testing.B) {
 		if _, err := Split(NewGear(bytes.NewReader(data), DefaultGearConfig())); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// testPool is a minimal Buffers implementation: a LIFO free list, like the
+// engine's pool but without the locking the single-threaded benchmarks
+// don't need.
+type testPool struct{ free [][]byte }
+
+func (p *testPool) Get(capacity int) []byte {
+	for n := len(p.free); n > 0; n = len(p.free) {
+		buf := p.free[n-1]
+		p.free = p.free[:n-1]
+		if cap(buf) >= capacity {
+			return buf
+		}
+	}
+	return make([]byte, 0, capacity)
+}
+
+func (p *testPool) Put(buf []byte) { p.free = append(p.free, buf[:0]) }
+
+// drain runs a chunker to EOF, returning every chunk buffer to the pool —
+// the engine's steady-state pattern.
+func drain(b *testing.B, ck Chunker, pool *testPool) int {
+	chunks := 0
+	for {
+		c, err := ck.Next()
+		if err != nil {
+			if err == io.EOF {
+				return chunks
+			}
+			b.Fatal(err)
+		}
+		chunks++
+		pool.Put(c.Data)
+	}
+}
+
+// BenchmarkFixed4KPooled measures the allocs/op floor of the fixed chunker
+// with recycled payload buffers (pair with BenchmarkFixed4K for the delta).
+func BenchmarkFixed4KPooled(b *testing.B) {
+	data := benchData()
+	pool := &testPool{}
+	r := bytes.NewReader(data)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(data)
+		f := NewFixed(r, 4096)
+		f.SetBuffers(pool)
+		drain(b, f, pool)
+	}
+}
+
+// BenchmarkGearCDCPooled measures the allocs/op floor of the Gear chunker
+// with recycled payload buffers and the fixed read-ahead buffer — the
+// regression guard for Gear.fill's per-call temporary.
+func BenchmarkGearCDCPooled(b *testing.B) {
+	data := benchData()
+	pool := &testPool{}
+	r := bytes.NewReader(data)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(data)
+		g := NewGear(r, DefaultGearConfig())
+		g.SetBuffers(pool)
+		drain(b, g, pool)
 	}
 }

@@ -20,8 +20,23 @@ type Chunk struct {
 // chunk has been returned.
 type Chunker interface {
 	// Next returns the next chunk. The returned Data is a fresh slice the
-	// caller may retain.
+	// caller may retain — unless a Buffers pool was attached, in which case
+	// the caller owns Data until it returns it to the pool.
 	Next() (Chunk, error)
+}
+
+// Buffers supplies reusable chunk payload buffers so a steady-state run
+// allocates nothing per chunk. Get returns a zero-length slice with at
+// least the requested capacity; Put gives a buffer back once the caller is
+// done with the chunk's Data. Implementations must be safe for concurrent
+// use (the engine recycles buffers from worker goroutines).
+//
+// Ownership rule: with a pool attached, chunk Data is on loan — a caller
+// that retains chunk bytes past Put (e.g. Verify-mode blob retention) must
+// copy them first or simply never Put that buffer.
+type Buffers interface {
+	Get(capacity int) []byte
+	Put(buf []byte)
 }
 
 // Fixed is a fixed-size chunker. The final chunk of a stream may be
@@ -31,6 +46,7 @@ type Fixed struct {
 	size   int
 	offset int64
 	done   bool
+	bufs   Buffers
 }
 
 // NewFixed returns a fixed-size chunker over r. It panics if size < 1.
@@ -41,12 +57,16 @@ func NewFixed(r io.Reader, size int) *Fixed {
 	return &Fixed{r: r, size: size}
 }
 
+// SetBuffers attaches a buffer pool; subsequent chunks' Data slices are
+// drawn from it and the caller must Put them back when done.
+func (f *Fixed) SetBuffers(b Buffers) { f.bufs = b }
+
 // Next returns the next fixed-size chunk.
 func (f *Fixed) Next() (Chunk, error) {
 	if f.done {
 		return Chunk{}, io.EOF
 	}
-	buf := make([]byte, f.size)
+	buf := alloc(f.bufs, f.size)
 	n, err := io.ReadFull(f.r, buf)
 	switch err {
 	case nil:
@@ -54,8 +74,10 @@ func (f *Fixed) Next() (Chunk, error) {
 		f.done = true
 	case io.EOF:
 		f.done = true
+		release(f.bufs, buf)
 		return Chunk{}, io.EOF
 	default:
+		release(f.bufs, buf)
 		return Chunk{}, err
 	}
 	c := Chunk{Data: buf[:n], Offset: f.offset}
@@ -82,13 +104,20 @@ func DefaultGearConfig() GearConfig {
 // therefore produces identical boundaries regardless of its position in the
 // stream.
 type Gear struct {
-	cfg    GearConfig
-	table  [256]uint64
-	mask   uint64
-	r      io.Reader
-	buf    []byte // unconsumed read-ahead
+	cfg   GearConfig
+	table [256]uint64
+	mask  uint64
+	r     io.Reader
+	// The read-ahead window lives in a fixed buffer allocated once at
+	// construction: read[start:end] is the unconsumed data. fill compacts
+	// the window to the front instead of growing, so steady-state chunking
+	// performs zero read-path allocations.
+	read   []byte
+	start  int
+	end    int
 	offset int64
 	eof    bool
+	bufs   Buffers
 }
 
 // NewGear returns a content-defined chunker over r. It panics if the
@@ -101,7 +130,7 @@ func NewGear(r io.Reader, cfg GearConfig) *Gear {
 	if cfg.Avg&(cfg.Avg-1) != 0 {
 		panic(fmt.Sprintf("chunk: Avg must be a power of two, got %d", cfg.Avg))
 	}
-	g := &Gear{cfg: cfg, r: r}
+	g := &Gear{cfg: cfg, r: r, read: make([]byte, 2*cfg.Max)}
 	// The mask selects log2(Avg) bits in the high half of the hash so the
 	// expected distance between boundaries is Avg.
 	bits := 0
@@ -121,18 +150,23 @@ func NewGear(r io.Reader, cfg GearConfig) *Gear {
 	return g
 }
 
+// SetBuffers attaches a buffer pool; subsequent chunks' Data slices are
+// drawn from it and the caller must Put them back when done.
+func (g *Gear) SetBuffers(b Buffers) { g.bufs = b }
+
 // Next returns the next content-defined chunk.
 func (g *Gear) Next() (Chunk, error) {
 	if err := g.fill(g.cfg.Max); err != nil {
 		return Chunk{}, err
 	}
-	if len(g.buf) == 0 {
+	window := g.read[g.start:g.end]
+	if len(window) == 0 {
 		return Chunk{}, io.EOF
 	}
-	cut := g.findBoundary(g.buf)
-	data := make([]byte, cut)
-	copy(data, g.buf[:cut])
-	g.buf = g.buf[cut:]
+	cut := g.findBoundary(window)
+	data := alloc(g.bufs, cut)
+	copy(data, window[:cut])
+	g.start += cut
 	c := Chunk{Data: data, Offset: g.offset}
 	g.offset += int64(cut)
 	return c, nil
@@ -160,12 +194,17 @@ func (g *Gear) findBoundary(buf []byte) int {
 	return limit
 }
 
-// fill tops the read-ahead buffer up to want bytes (or EOF).
+// fill tops the read-ahead window up to want bytes (or EOF), reading
+// directly into the fixed buffer. When the window's tail room runs out it
+// is compacted to the front — no temporary slices, no append growth.
 func (g *Gear) fill(want int) error {
-	for len(g.buf) < want && !g.eof {
-		tmp := make([]byte, want-len(g.buf))
-		n, err := g.r.Read(tmp)
-		g.buf = append(g.buf, tmp[:n]...)
+	for g.end-g.start < want && !g.eof {
+		if g.start > 0 && len(g.read)-g.start < want {
+			g.end = copy(g.read, g.read[g.start:g.end])
+			g.start = 0
+		}
+		n, err := g.r.Read(g.read[g.end:])
+		g.end += n
 		if err == io.EOF {
 			g.eof = true
 			return nil
@@ -175,6 +214,22 @@ func (g *Gear) fill(want int) error {
 		}
 	}
 	return nil
+}
+
+// alloc returns a length-n buffer from the pool (or the heap when no pool
+// is attached).
+func alloc(b Buffers, n int) []byte {
+	if b == nil {
+		return make([]byte, n)
+	}
+	return b.Get(n)[:n]
+}
+
+// release returns an unused buffer to the pool, if any.
+func release(b Buffers, buf []byte) {
+	if b != nil {
+		b.Put(buf)
+	}
 }
 
 // Split is a convenience that runs a chunker to completion and returns all

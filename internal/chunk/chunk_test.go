@@ -220,3 +220,48 @@ func TestChunkersLosslessProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestChunkerSteadyStateAllocFree is the regression guard for the pooled
+// data path: once the buffer pool is primed, chunking an entire stream
+// performs no per-chunk allocations — neither for payloads (drawn from the
+// pool) nor inside Gear.fill (the fixed read-ahead buffer).
+func TestChunkerSteadyStateAllocFree(t *testing.T) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(7)).Read(data)
+	pool := &testPool{}
+	r := bytes.NewReader(data)
+	for name, mk := range map[string]func() Chunker{
+		"fixed": func() Chunker {
+			f := NewFixed(r, 4096)
+			f.SetBuffers(pool)
+			return f
+		},
+		"gear": func() Chunker {
+			g := NewGear(r, DefaultGearConfig())
+			g.SetBuffers(pool)
+			return g
+		},
+	} {
+		run := func() {
+			r.Reset(data)
+			ck := mk()
+			for {
+				c, err := ck.Next()
+				if err == io.EOF {
+					return
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				pool.Put(c.Data)
+			}
+		}
+		run() // prime the pool (and size Gear's read-ahead buffer)
+		// The remaining allocations are per-pass (the chunker itself and
+		// Gear's read-ahead buffer), not per-chunk: a 1 MiB stream has
+		// ~256+ chunks, so a per-chunk alloc would blow way past this.
+		if got := testing.AllocsPerRun(5, run); got > 8 {
+			t.Errorf("%s: %.0f allocs per full-stream pass; want <= 8 (no per-chunk allocation)", name, got)
+		}
+	}
+}

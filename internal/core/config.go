@@ -128,6 +128,12 @@ type Config struct {
 	// Engine.VerifyAgainst for end-to-end data-integrity checks. Costs
 	// memory proportional to the stored unique bytes; meant for tests.
 	Verify bool
+
+	// Parallelism is the number of host worker threads the engine uses for
+	// its real computation (hashing, compression, GPU-batch post-processing).
+	// It changes wall-clock speed only: the simulated virtual-time results
+	// are bit-identical for every value. 0 means runtime.NumCPU().
+	Parallelism int
 }
 
 // DefaultConfig returns the paper-faithful configuration: 4 KB chunks,
@@ -177,6 +183,9 @@ func (c Config) Validate() error {
 	}
 	if c.Mode < CPUOnly || c.Mode > GPUBoth {
 		return fmt.Errorf("core: unknown mode %d", int(c.Mode))
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: parallelism must be >= 0, got %d", c.Parallelism)
 	}
 	return nil
 }

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"inlinered/internal/lz"
+	"inlinered/internal/workload"
+)
+
+// TestParallelismDeterminism is the wall-clock parallelism contract: the
+// host worker count changes only how fast the simulation runs, never what
+// it computes. A serial run (Parallelism=1) and a fanned-out run
+// (Parallelism=4) must produce bit-identical Reports, identical journal
+// images, and both must verify against the source stream, across every
+// integration mode and the extension paths (CDC chunking, entropy bypass,
+// QuickLZ).
+func TestParallelismDeterminism(t *testing.T) {
+	type variant struct {
+		name string
+		plat Platform
+		dd   float64 // workload dedup ratio
+		cr   float64 // workload compression ratio
+		mut  func(*Config)
+	}
+	variants := []variant{
+		{"cpu-only", PaperPlatform(), 2.0, 2.0, func(c *Config) { c.Mode = CPUOnly }},
+		{"gpu-dedup", PaperPlatform(), 2.0, 2.0, func(c *Config) { c.Mode = GPUDedup }},
+		{"gpu-compress", PaperPlatform(), 2.0, 2.0, func(c *Config) { c.Mode = GPUCompress }},
+		{"gpu-both", PaperPlatform(), 2.0, 2.0, func(c *Config) { c.Mode = GPUBoth }},
+		{"cdc", PaperPlatform(), 2.0, 2.0, func(c *Config) {
+			c.Mode = CPUOnly
+			c.Chunker = CDCChunking
+		}},
+		{"entropy-bypass", PaperPlatform(), 1.5, 1.0, func(c *Config) {
+			c.Mode = CPUOnly
+			c.SkipIncompressible = true
+		}},
+		{"entropy-bypass-gpu", PaperPlatform(), 1.5, 1.0, func(c *Config) {
+			c.Mode = GPUCompress
+			c.SkipIncompressible = true
+		}},
+		{"qlz", PaperPlatform(), 2.0, 2.0, func(c *Config) {
+			c.Mode = CPUOnly
+			c.Codec = lz.CodecQLZ
+		}},
+		{"no-dedup", PaperPlatform(), 1.0, 2.0, func(c *Config) {
+			c.Mode = CPUOnly
+			c.Dedup = false
+		}},
+	}
+	run := func(t *testing.T, v variant, par int) (*Engine, *Report) {
+		t.Helper()
+		cfg := testConfig(CPUOnly)
+		v.mut(&cfg)
+		cfg.Parallelism = par
+		s := testStream(t, 6<<20, v.dd, v.cr, workload.RefUniform)
+		eng, rep := runPipeline(t, v.plat, cfg, s)
+		s.Reset()
+		if err := eng.VerifyAgainst(s); err != nil {
+			t.Fatalf("parallelism=%d: verify: %v", par, err)
+		}
+		return eng, rep
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			engSerial, repSerial := run(t, v, 1)
+			engPar, repPar := run(t, v, 4)
+			if !reflect.DeepEqual(repSerial, repPar) {
+				t.Errorf("reports differ between serial and parallel runs:\nserial:   %+v\nparallel: %+v", repSerial, repPar)
+			}
+			if !bytes.Equal(engSerial.JournalImage(), engPar.JournalImage()) {
+				t.Error("journal images differ between serial and parallel runs")
+			}
+		})
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"inlinered/internal/dedup"
 	"inlinered/internal/gpu"
 	"inlinered/internal/lz"
+	"inlinered/internal/parallel"
 	"inlinered/internal/sim"
 	"inlinered/internal/ssd"
 )
@@ -45,6 +46,58 @@ type Engine struct {
 	ran   bool
 	blobs map[int64][]byte // loc -> stored blob (Verify only)
 	locs  []int64          // per chunk -> loc of its stored content (Verify only)
+
+	// Wall-clock machinery. None of this affects the virtual clock: the
+	// pool fans real computation out across host cores, and the buffer
+	// pools recycle chunk payloads and blob destinations so the steady
+	// state allocates nothing per chunk.
+	par       int            // host workers (Config.Parallelism; 0 → NumCPU)
+	pool      *parallel.Pool // persistent workers for compression fan-out
+	chunkBufs bufPool        // chunk payload buffers (chunker → pipeline)
+	blobBufs  bufPool        // compression destination buffers
+
+	// Per-batch scratch, reused across batches.
+	ready       []time.Duration            // stage-2 ready times (hashEnd copy)
+	pre         []preChunk                 // parallel pass results by chunk index
+	uniq        []int                      // predicted-unique chunk indices
+	seen        map[dedup.Fingerprint]bool // batch-local first occurrences
+	hbFree      []*hashedBatch             // recycled batch headers
+	batchSlices [][][]byte                 // recycled chunk-pointer slices
+}
+
+// bufPool is a LIFO free list of byte buffers. Unlike sync.Pool it never
+// boxes the slice header into an interface, so a steady-state Get/Put
+// cycle is allocation-free (the whole point of threading it through the
+// data plane). Safe for concurrent use by the compression workers.
+type bufPool struct {
+	mu   sync.Mutex
+	free [][]byte
+}
+
+// Get returns a zero-length buffer with at least the requested capacity.
+func (b *bufPool) Get(capacity int) []byte {
+	b.mu.Lock()
+	for n := len(b.free); n > 0; n = len(b.free) {
+		buf := b.free[n-1]
+		b.free = b.free[:n-1]
+		if cap(buf) >= capacity {
+			b.mu.Unlock()
+			return buf
+		}
+		// Undersized stragglers (e.g. a short final chunk) are dropped.
+	}
+	b.mu.Unlock()
+	return make([]byte, 0, capacity)
+}
+
+// Put returns a buffer to the pool once its contents are dead.
+func (b *bufPool) Put(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	b.mu.Lock()
+	b.free = append(b.free, buf[:0])
+	b.mu.Unlock()
 }
 
 // gpuPending is one unique chunk queued for the GPU compression kernel.
@@ -121,6 +174,14 @@ func NewEngine(plat Platform, cfg Config) (*Engine, error) {
 		e.blobs = make(map[int64][]byte)
 	}
 	e.inflight = make(map[dedup.Fingerprint]*inflightRef)
+	e.par = cfg.Parallelism
+	if e.par <= 0 {
+		e.par = runtime.NumCPU()
+	}
+	e.pool = parallel.New(e.par)
+	if cfg.Dedup {
+		e.seen = make(map[dedup.Fingerprint]bool)
+	}
 	e.rep.Mode = cfg.Mode
 	return e, nil
 }
@@ -160,18 +221,15 @@ func (e *Engine) Process(r io.Reader) (*Report, error) {
 	}
 	e.ran = true
 
+	defer e.pool.Close()
+
 	// Chunking/hashing has no dependency on anything downstream, so batch
 	// N+1's hashing is scheduled before batch N's indexing and compression:
 	// this keeps the virtual CPU pool work-conserving, the way an open-loop
 	// pipeline with a full input queue behaves on real hardware.
-	var ck chunk.Chunker
-	if e.cfg.Chunker == CDCChunking {
-		ck = chunk.NewGear(r, e.cfg.Gear)
-	} else {
-		ck = chunk.NewFixed(r, e.cfg.ChunkSize)
-	}
+	ck := e.newChunker(r)
 	var window []*hashedBatch
-	batch := make([][]byte, 0, e.cfg.Batch)
+	batch := e.getBatchSlice()
 	for {
 		c, err := ck.Next()
 		if err == io.EOF {
@@ -183,7 +241,7 @@ func (e *Engine) Process(r io.Reader) (*Report, error) {
 		batch = append(batch, c.Data)
 		if len(batch) == e.cfg.Batch {
 			window = append(window, e.hashBatch(batch))
-			batch = make([][]byte, 0, e.cfg.Batch)
+			batch = e.getBatchSlice()
 			if len(window) > e.cfg.Lookahead {
 				// Screen the batch that will be processed next while this
 				// one runs: the GPU round trip hides behind one batch of
@@ -195,6 +253,7 @@ func (e *Engine) Process(r io.Reader) (*Report, error) {
 				if err := e.downstream(window[0]); err != nil {
 					return nil, err
 				}
+				e.recycleBatch(window[0])
 				window = window[1:]
 			}
 		}
@@ -209,6 +268,7 @@ func (e *Engine) Process(r io.Reader) (*Report, error) {
 		if err := e.downstream(hb); err != nil {
 			return nil, err
 		}
+		e.recycleBatch(hb)
 	}
 	if err := e.flushGPUCompress(); err != nil {
 		return nil, err
@@ -222,6 +282,44 @@ func (e *Engine) Process(r io.Reader) (*Report, error) {
 	e.finalFlush()
 	e.finish()
 	return &e.rep, nil
+}
+
+// newChunker builds the configured chunker over r, with chunk payload
+// buffers drawn from the engine's pool (the pipeline returns each buffer
+// once the chunk's data is dead).
+func (e *Engine) newChunker(r io.Reader) chunk.Chunker {
+	if e.cfg.Chunker == CDCChunking {
+		g := chunk.NewGear(r, e.cfg.Gear)
+		g.SetBuffers(&e.chunkBufs)
+		return g
+	}
+	f := chunk.NewFixed(r, e.cfg.ChunkSize)
+	f.SetBuffers(&e.chunkBufs)
+	return f
+}
+
+// getBatchSlice returns an empty chunk-pointer slice, recycled from a
+// completed batch when possible.
+func (e *Engine) getBatchSlice() [][]byte {
+	if n := len(e.batchSlices); n > 0 {
+		s := e.batchSlices[n-1]
+		e.batchSlices = e.batchSlices[:n-1]
+		return s
+	}
+	return make([][]byte, 0, e.cfg.Batch)
+}
+
+// recycleBatch reclaims a fully processed batch's header and slices. The
+// chunk payload buffers themselves were already returned as each chunk
+// committed (or handed to the GPU pending queue).
+func (e *Engine) recycleBatch(hb *hashedBatch) {
+	e.batchSlices = append(e.batchSlices, hb.chunks[:0])
+	hb.chunks = nil
+	hb.ghits = nil
+	hb.screened = false
+	hb.ready = 0
+	hb.screenEnd = 0
+	e.hbFree = append(e.hbFree, hb)
 }
 
 // hashedBatch is a batch that has been through stage 1 (chunk + hash) and,
@@ -242,10 +340,18 @@ type hashedBatch struct {
 // independently; every chunk "arrives" at time zero, open loop).
 func (e *Engine) hashBatch(chunks [][]byte) *hashedBatch {
 	cost := e.cpu.Cost
-	hb := &hashedBatch{
-		chunks:  chunks,
-		fps:     dedup.ParallelSum(chunks, runtime.NumCPU()),
-		hashEnd: make([]time.Duration, len(chunks)),
+	var hb *hashedBatch
+	if n := len(e.hbFree); n > 0 {
+		hb, e.hbFree = e.hbFree[n-1], e.hbFree[:n-1]
+	} else {
+		hb = &hashedBatch{}
+	}
+	hb.chunks = chunks
+	hb.fps = dedup.ParallelSumInto(hb.fps, chunks, e.par)
+	if cap(hb.hashEnd) >= len(chunks) {
+		hb.hashEnd = hb.hashEnd[:len(chunks)]
+	} else {
+		hb.hashEnd = make([]time.Duration, len(chunks))
 	}
 	for i, c := range chunks {
 		chunkCycles := cost.ChunkCycles(len(c)) + cost.StageOverheadCycles
@@ -294,6 +400,127 @@ func (e *Engine) screen(hb *hashedBatch) {
 	e.rep.GPUIndexedChunks += int64(len(hb.fps))
 }
 
+// preChunk is one chunk's precomputed real computation: the entropy
+// decision and, when the chunk stays on the CPU, its finished blob and
+// encode stats. Produced by the parallel pass, consumed (or returned to
+// the buffer pool) by the commit pass.
+type preChunk struct {
+	entropy        bool // incompressible below is valid
+	incompressible bool
+	done           bool // blob (and stats, for compressed blobs) are valid
+	blob           []byte
+	stats          lz.Stats
+}
+
+// entropyThreshold returns the bypass cutoff in bits/byte.
+func (e *Engine) entropyThreshold() float64 {
+	if e.cfg.EntropyThreshold != 0 {
+		return e.cfg.EntropyThreshold
+	}
+	return 7.2
+}
+
+// precompute is the wall-clock fan-out half of the tentpole: a sequential
+// dedup-decision pass predicts which chunks the commit pass will treat as
+// unique (cheap read-only probes, first-occurrence semantics), then the
+// persistent worker pool runs the real computation — entropy pre-checks
+// and CPU LZSS/QLZ encodes — for those chunks concurrently. The commit
+// pass remains the source of truth: it re-probes with interleaved inserts
+// so the virtual-time accounting is bit-identical to a serial run, and it
+// falls back to inline computation for the rare chunk whose prediction was
+// upset by a concurrent-capacity eviction. Returns nil when there is
+// nothing worth fanning out (serial runs, GPU-owned compression).
+func (e *Engine) precompute(hb *hashedBatch) []preChunk {
+	if e.par <= 1 || !e.cfg.Compress {
+		return nil
+	}
+	gpuMode := e.cfg.Mode.UsesGPUCompress()
+	if gpuMode && !e.cfg.SkipIncompressible {
+		return nil // all real compression happens in the GPU batch path
+	}
+	chunks, fps := hb.chunks, hb.fps
+
+	// Pass 1 — sequential dedup decisions. A chunk will commit as unique
+	// iff no screening hit, no index hit, no in-flight twin, and no earlier
+	// first occurrence in this same batch.
+	uniq := e.uniq[:0]
+	if !e.cfg.Dedup {
+		for i := range chunks {
+			uniq = append(uniq, i)
+		}
+	} else {
+		clear(e.seen)
+		for i := range chunks {
+			if hb.screened && hb.ghits[i].Found {
+				continue
+			}
+			var found bool
+			if hb.screened {
+				found = e.index.LookupBuffer(fps[i]).Found
+			} else {
+				found = e.index.Lookup(fps[i]).Found
+			}
+			if found {
+				continue
+			}
+			if _, ok := e.inflight[fps[i]]; ok {
+				continue
+			}
+			if e.seen[fps[i]] {
+				continue
+			}
+			e.seen[fps[i]] = true
+			uniq = append(uniq, i)
+		}
+	}
+	e.uniq = uniq
+	if len(uniq) == 0 {
+		return nil
+	}
+
+	// Pass 2 — parallel real computation over the predicted uniques.
+	pre := e.pre[:0]
+	for len(pre) < len(chunks) {
+		pre = append(pre, preChunk{})
+	}
+	e.pre = pre
+	threshold := e.entropyThreshold()
+	e.pool.Map(len(uniq), func(k int) {
+		i := uniq[k]
+		c := chunks[i]
+		pc := &pre[i]
+		if e.cfg.SkipIncompressible {
+			pc.entropy = true
+			pc.incompressible = lz.LikelyIncompressible(c, threshold)
+			if pc.incompressible {
+				pc.blob = lz.StoreRaw(e.blobBufs.Get(len(c)+blobHeadroom), c)
+				pc.done = true
+				return
+			}
+		}
+		if gpuMode {
+			return // the chunk joins the GPU pending queue instead
+		}
+		pc.blob, pc.stats = lz.CompressCodec(e.cfg.Codec, e.blobBufs.Get(len(c)+blobHeadroom), c, e.cfg.LZ)
+		pc.done = true
+	})
+	return pre
+}
+
+// blobHeadroom is the extra destination capacity beyond the source length
+// a blob may need (mode byte + uvarint length for the raw fallback).
+const blobHeadroom = 16
+
+// releasePre returns an unconsumed precomputed blob to the pool (the
+// chunk turned out to be a duplicate).
+func (e *Engine) releasePre(pre []preChunk, i int) {
+	if pre == nil || !pre[i].done {
+		return
+	}
+	e.blobBufs.Put(pre[i].blob)
+	pre[i] = preChunk{}
+}
+
 // downstream pushes a hashed batch through index → compress → insert/destage.
 func (e *Engine) downstream(hb *hashedBatch) error {
 	if err := e.retireDue(); err != nil {
@@ -302,13 +529,20 @@ func (e *Engine) downstream(hb *hashedBatch) error {
 	cost := e.cpu.Cost
 	chunks, fps := hb.chunks, hb.fps
 
-	// Stages 2+ run per chunk in stream order: probe (Figure 1: GPU
+	// Parallel pass: fan the batch's real computation out across the host
+	// cores before the sequential commit below (wall-clock only — the
+	// virtual clock is charged in the commit pass, in stream order).
+	pre := e.precompute(hb)
+
+	// Stages 2+ commit per chunk in stream order: probe (Figure 1: GPU
 	// screening result, bin buffer, bin tree), then for uniques compress →
 	// insert → destage. Running probe and insert in stream order keeps
 	// within-batch duplicates exact: a chunk's probe sees every earlier
 	// chunk's insert (or its in-flight entry while the GPU compressor
-	// holds it).
-	ready := hb.hashEnd
+	// holds it). The ready times are a scratch copy so the per-chunk
+	// updates below never mutate the batch's own hashEnd record.
+	ready := append(e.ready[:0], hb.hashEnd...)
+	e.ready = ready
 	if hb.screened {
 		for i := range ready {
 			ready[i] = hb.screenEnd
@@ -360,6 +594,8 @@ func (e *Engine) downstream(hb *hashedBatch) error {
 						ref.waiters = append(ref.waiters, e.rep.Chunks-1)
 						e.locs = append(e.locs, -1)
 					}
+					e.releasePre(pre, i)
+					e.chunkBufs.Put(c)
 					continue
 				}
 			}
@@ -369,24 +605,36 @@ func (e *Engine) downstream(hb *hashedBatch) error {
 			if e.cfg.Verify {
 				e.locs = append(e.locs, dupLoc)
 			}
+			e.releasePre(pre, i)
+			e.chunkBufs.Put(c)
 			continue
 		}
 		e.rep.UniqueChunks++
 		e.rep.UniqueBytes += int64(len(c))
 		skipCycles := 0.0
 		if e.cfg.Compress && e.cfg.SkipIncompressible {
-			threshold := e.cfg.EntropyThreshold
-			if threshold == 0 {
-				threshold = 7.2
-			}
 			skipCycles = cost.EntropyCycles(len(c))
-			if lz.LikelyIncompressible(c, threshold) {
+			var incompressible bool
+			if pre != nil && pre[i].entropy {
+				incompressible = pre[i].incompressible
+			} else {
+				incompressible = lz.LikelyIncompressible(c, e.entropyThreshold())
+			}
+			if incompressible {
 				// Bypass: store raw; the histogram pass is the only cost.
 				e.rep.SkippedIncompressible++
-				blob := lz.StoreRaw(nil, c)
+				var blob []byte
+				if pre != nil && pre[i].done {
+					blob = pre[i].blob
+					pre[i] = preChunk{}
+				} else {
+					blob = lz.StoreRaw(e.blobBufs.Get(len(c)+blobHeadroom), c)
+				}
 				base := skipCycles + cost.MemcpyCycles(len(blob)) + cost.StageOverheadCycles
 				e.rep.Stages.Compression += e.seconds(base)
-				if err := e.finishUnique(fps[i], blob, ready[i], base, int(e.rep.Chunks-1)); err != nil {
+				err := e.finishUnique(fps[i], blob, ready[i], base, int(e.rep.Chunks-1))
+				e.chunkBufs.Put(c)
+				if err != nil {
 					return err
 				}
 				continue
@@ -396,6 +644,8 @@ func (e *Engine) downstream(hb *hashedBatch) error {
 			if e.cfg.Dedup {
 				e.inflight[fps[i]] = &inflightRef{}
 			}
+			// The chunk buffer rides along: it is recycled when the GPU
+			// batch's blobs have been computed (flushGPUCompress).
 			e.pendGPU = append(e.pendGPU, gpuPending{data: c, fp: fps[i], ready: ready[i], idx: e.rep.Chunks - 1})
 			if e.cfg.Verify {
 				e.locs = append(e.locs, -1) // patched when the GPU batch retires
@@ -409,19 +659,28 @@ func (e *Engine) downstream(hb *hashedBatch) error {
 		}
 		// CPU compression (or raw store when compression is off). The
 		// compress and index-insert work is fused into one CPU job: the
-		// worker thread that compressed the chunk finishes it.
+		// worker thread that compressed the chunk finishes it. The blob
+		// and stats normally come from the parallel pass; the inline path
+		// covers serial runs and prediction upsets (see precompute).
 		var blob []byte
 		var baseCycles float64
 		if e.cfg.Compress {
 			var st lz.Stats
-			blob, st = lz.CompressCodec(e.cfg.Codec, nil, c, e.cfg.LZ)
+			if pre != nil && pre[i].done {
+				blob, st = pre[i].blob, pre[i].stats
+				pre[i] = preChunk{}
+			} else {
+				blob, st = lz.CompressCodec(e.cfg.Codec, e.blobBufs.Get(len(c)+blobHeadroom), c, e.cfg.LZ)
+			}
 			baseCycles = skipCycles + cost.CompressCycles(st.Positions, st.SearchSteps, st.DstBytes) + cost.StageOverheadCycles
 		} else {
-			blob = lz.StoreRaw(nil, c)
+			blob = lz.StoreRaw(e.blobBufs.Get(len(c)+blobHeadroom), c)
 			baseCycles = cost.MemcpyCycles(len(blob)) + cost.StageOverheadCycles
 		}
 		e.rep.Stages.Compression += e.seconds(baseCycles)
-		if err := e.finishUnique(fps[i], blob, ready[i], baseCycles, int(e.rep.Chunks-1)); err != nil {
+		err := e.finishUnique(fps[i], blob, ready[i], baseCycles, int(e.rep.Chunks-1))
+		e.chunkBufs.Put(c)
+		if err != nil {
 			return err
 		}
 	}
@@ -452,7 +711,7 @@ func (e *Engine) flushGPUCompress() error {
 	// its own sub-block for real. Lane costs come from the real encoder
 	// work; wavefront lockstep and divergence are charged by the profile.
 	results := make([]lz.SubBlockResult, len(pend))
-	parallelMap(len(pend), func(i int) {
+	e.pool.Map(len(pend), func(i int) {
 		results[i] = lz.CompressSubBlocks(pend[i].data, e.cfg.Sub)
 	})
 	var perLane []float64
@@ -480,13 +739,19 @@ func (e *Engine) flushGPUCompress() error {
 	// virtual pool stays work-conserving.
 	blobs := make([][]byte, len(pend))
 	errs := make([]error, len(pend))
-	parallelMap(len(pend), func(i int) {
-		blobs[i], _, errs[i] = lz.PostProcessOrRaw(nil, pend[i].data, results[i])
+	e.pool.Map(len(pend), func(i int) {
+		blobs[i], _, errs[i] = lz.PostProcessOrRaw(e.blobBufs.Get(len(pend[i].data)+blobHeadroom), pend[i].data, results[i])
 	})
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
+	}
+	// The blobs are self-contained copies, so the chunk payload buffers are
+	// dead from here on.
+	for i := range pend {
+		e.chunkBufs.Put(pend[i].data)
+		pend[i].data = nil
 	}
 	e.retired = append(e.retired, retiredBatch{t: t, pend: pend, blobs: blobs})
 	return nil
@@ -581,6 +846,10 @@ func (e *Engine) finishUnique(fp dedup.Fingerprint, blob []byte, ready time.Dura
 				return err
 			}
 		}
+	}
+	if !e.cfg.Verify {
+		// Verify retains the blob in e.blobs; otherwise it is dead now.
+		e.blobBufs.Put(blob)
 	}
 	return nil
 }
@@ -685,12 +954,8 @@ func (e *Engine) VerifyAgainst(r io.Reader) error {
 	if !e.cfg.Verify {
 		return fmt.Errorf("core: VerifyAgainst needs Config.Verify")
 	}
-	var ck chunk.Chunker
-	if e.cfg.Chunker == CDCChunking {
-		ck = chunk.NewGear(r, e.cfg.Gear)
-	} else {
-		ck = chunk.NewFixed(r, e.cfg.ChunkSize)
-	}
+	ck := e.newChunker(r)
+	var out []byte
 	for i := 0; ; i++ {
 		c, err := ck.Next()
 		if err == io.EOF {
@@ -709,44 +974,14 @@ func (e *Engine) VerifyAgainst(r io.Reader) error {
 		if !ok {
 			return fmt.Errorf("core: chunk %d points at unknown location %d", i, e.locs[i])
 		}
-		out, err := lz.Decompress(nil, blob)
+		out, err = lz.Decompress(out[:0], blob)
 		if err != nil {
 			return fmt.Errorf("core: chunk %d: %w", i, err)
 		}
-		if string(out) != string(c.Data) {
+		match := string(out) == string(c.Data)
+		e.chunkBufs.Put(c.Data)
+		if !match {
 			return fmt.Errorf("core: chunk %d: stored data does not reconstruct the source", i)
 		}
 	}
-}
-
-// parallelMap runs fn(i) for i in [0,n) across GOMAXPROCS goroutines. It is
-// a wall-clock optimization only: the virtual-time accounting is unchanged,
-// and fn writes only to its own index.
-func parallelMap(n int, fn func(int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"inlinered/internal/dedup"
+	"inlinered/internal/parallel"
 	"inlinered/internal/workload"
 )
 
@@ -469,9 +470,11 @@ func TestWeakGPUPlatformShape(t *testing.T) {
 }
 
 func TestParallelMapCoversAllIndices(t *testing.T) {
+	pool := parallel.New(4)
+	defer pool.Close()
 	for _, n := range []int{0, 1, 7, 100} {
 		hit := make([]bool, n)
-		parallelMap(n, func(i int) { hit[i] = true })
+		pool.Map(n, func(i int) { hit[i] = true })
 		for i, h := range hit {
 			if !h {
 				t.Fatalf("n=%d: index %d not visited", n, i)

@@ -10,10 +10,22 @@ import (
 // Hashing has no cross-chunk dependency (§3.1), so this is embarrassingly
 // parallel; results are positionally aligned with the input.
 func ParallelSum(chunks [][]byte, workers int) []Fingerprint {
+	return ParallelSumInto(nil, chunks, workers)
+}
+
+// ParallelSumInto is ParallelSum writing into dst, which is grown only
+// when its capacity is insufficient — callers that recycle batches reuse
+// one fingerprint slice for the whole run.
+func ParallelSumInto(dst []Fingerprint, chunks [][]byte, workers int) []Fingerprint {
 	if workers < 1 {
 		workers = 1
 	}
-	out := make([]Fingerprint, len(chunks))
+	var out []Fingerprint
+	if cap(dst) >= len(chunks) {
+		out = dst[:len(chunks)]
+	} else {
+		out = make([]Fingerprint, len(chunks))
+	}
 	if len(chunks) == 0 {
 		return out
 	}
@@ -81,8 +93,26 @@ func NewParallelIndexer(idx *BinIndex, workers int) *ParallelIndexer {
 // positionally aligned with fps; the per-worker work summaries let the
 // simulation cost each worker's virtual time independently.
 func (p *ParallelIndexer) Process(fps []Fingerprint, makeEntry func(i int) Entry) ([]ItemResult, []WorkerWork) {
-	results := make([]ItemResult, len(fps))
-	work := make([]WorkerWork, p.Workers)
+	return p.ProcessInto(nil, nil, fps, makeEntry)
+}
+
+// ProcessInto is Process writing into caller-provided result slices, which
+// are grown only when their capacity is insufficient; repeated batches can
+// feed the previous call's returns back in to amortize the allocation.
+// Passing nil for either slice allocates it fresh.
+func (p *ParallelIndexer) ProcessInto(results []ItemResult, work []WorkerWork, fps []Fingerprint, makeEntry func(i int) Entry) ([]ItemResult, []WorkerWork) {
+	if cap(results) >= len(fps) {
+		results = results[:len(fps)]
+		clear(results)
+	} else {
+		results = make([]ItemResult, len(fps))
+	}
+	if cap(work) >= p.Workers {
+		work = work[:p.Workers]
+		clear(work)
+	} else {
+		work = make([]WorkerWork, p.Workers)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < p.Workers; w++ {
 		wg.Add(1)

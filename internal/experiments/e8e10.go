@@ -44,6 +44,8 @@ func E8BinScaling(cfg Config) (*Result, error) {
 	}
 	metrics := map[string]float64{}
 	var binsBase, lockBase float64
+	var results []dedup.ItemResult // reused across thread counts
+	var work []dedup.WorkerWork
 	for _, threads := range []int{1, 2, 4, 8, 16} {
 		// Bin-partitioned: real lock-free run; each worker's virtual time
 		// is the sum of its own probe+insert cycles; makespan = slowest.
@@ -52,7 +54,7 @@ func E8BinScaling(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		pi := dedup.NewParallelIndexer(idx, threads)
-		_, work := pi.Process(fps, func(i int) dedup.Entry { return dedup.Entry{Loc: int64(i)} })
+		results, work = pi.ProcessInto(results, work, fps, func(i int) dedup.Entry { return dedup.Entry{Loc: int64(i)} })
 		var makespan time.Duration
 		for _, w := range work {
 			cycles := float64(w.Items)*cost.ProbeBaseCycles +

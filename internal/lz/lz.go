@@ -38,6 +38,7 @@ package lz
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // Format constants. Window/offset/length widths are fixed by the 2-byte
@@ -142,12 +143,31 @@ type matcher struct {
 	data []byte
 }
 
+// matcherPool recycles matchers across encodes: the head table and prev
+// chain together are ~48 KB per 4 KB chunk, by far the codec's largest
+// allocation, and resetting them is much cheaper than reallocating under
+// GC pressure. The pool is safe for the engine's concurrent compression
+// workers.
+var matcherPool = sync.Pool{New: func() any { return new(matcher) }}
+
 func newMatcher(data []byte) *matcher {
-	m := &matcher{data: data, prev: make([]int32, len(data))}
+	m := matcherPool.Get().(*matcher)
+	m.data = data
+	if cap(m.prev) < len(data) {
+		m.prev = make([]int32, len(data))
+	}
+	m.prev = m.prev[:len(data)]
 	for i := range m.head {
 		m.head[i] = -1
 	}
 	return m
+}
+
+// release returns the matcher to the pool; the caller must not use it
+// afterwards.
+func (m *matcher) release() {
+	m.data = nil
+	matcherPool.Put(m)
 }
 
 func (m *matcher) insert(pos int) {
@@ -245,18 +265,20 @@ func (w *tokenWriter) match(offset, length int) {
 	w.matches++
 }
 
-// encodeRange compresses data[from:] as one token stream, allowing matches
-// to reach back into data[:from] (the preloaded history). It returns the
-// token stream and stats for the encoded range.
-func encodeRange(data []byte, from int, p Params) ([]byte, Stats) {
+// encodeRange compresses data[from:] as one token stream appended to out
+// (pass nil to allocate, or a recycled scratch to avoid it), allowing
+// matches to reach back into data[:from] (the preloaded history). It
+// returns the token stream and stats for the encoded range.
+func encodeRange(out, data []byte, from int, p Params) ([]byte, Stats) {
 	if p.MaxChain < 1 {
 		p.MaxChain = 1
 	}
 	m := newMatcher(data)
+	defer m.release()
 	for i := 0; i < from; i++ {
 		m.insert(i)
 	}
-	var w tokenWriter
+	w := tokenWriter{out: out}
 	var st Stats
 	st.SrcBytes = len(data) - from
 	pos := from
@@ -318,11 +340,19 @@ func StoreRaw(dst, src []byte) []byte {
 	return append(dst, src...)
 }
 
+// tokenScratch recycles token-stream staging buffers: the encoder writes
+// tokens into a scratch buffer that is copied into the caller's dst and
+// immediately reusable, so steady-state encodes allocate nothing.
+type tokenScratch struct{ buf []byte }
+
+var tokenScratchPool = sync.Pool{New: func() any { return new(tokenScratch) }}
+
 // Compress encodes src as a self-describing blob (mode 1, or mode 0 when
 // compression does not pay) appended to dst, returning the result and the
 // encode stats. An empty src produces a valid empty blob.
 func Compress(dst, src []byte, p Params) ([]byte, Stats) {
-	tokens, st := encodeRange(src, 0, p)
+	sc := tokenScratchPool.Get().(*tokenScratch)
+	tokens, st := encodeRange(sc.buf[:0], src, 0, p)
 	var hdr [binary.MaxVarintLen64 + 1]byte
 	n := binary.PutUvarint(hdr[1:], uint64(len(src)))
 	if len(tokens)+n+1 >= len(src) {
@@ -337,5 +367,7 @@ func Compress(dst, src []byte, p Params) ([]byte, Stats) {
 		dst = append(dst, tokens...)
 		st.DstBytes = n + 1 + len(tokens)
 	}
+	sc.buf = tokens
+	tokenScratchPool.Put(sc)
 	return dst, st
 }

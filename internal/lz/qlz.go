@@ -77,10 +77,10 @@ func (w *qlzWriter) finish() []byte {
 }
 
 // qlzEncode compresses src with the single-probe greedy search.
-func qlzEncode(src []byte) ([]byte, Stats) {
+func qlzEncode(out []byte, src []byte) ([]byte, Stats) {
 	var st Stats
 	st.SrcBytes = len(src)
-	var w qlzWriter
+	w := qlzWriter{out: out}
 	var table [1 << hashBits]int32
 	for i := range table {
 		table[i] = -1
@@ -118,29 +118,33 @@ func qlzEncode(src []byte) ([]byte, Stats) {
 		w.literal(src[pos])
 		pos++
 	}
-	out := w.finish()
+	tokens := w.finish()
 	st.Literals, st.Matches = w.literals, w.matches
-	return out, st
+	return tokens, st
 }
 
 // CompressQLZ encodes src as a self-describing blob with the QuickLZ-class
 // codec (mode 3, or mode 0 raw when compression does not pay), appended to
 // dst. Decode with the regular Decompress.
 func CompressQLZ(dst, src []byte) ([]byte, Stats) {
-	tokens, st := qlzEncode(src)
+	sc := tokenScratchPool.Get().(*tokenScratch)
+	tokens, st := qlzEncode(sc.buf[:0], src)
 	var hdr [binary.MaxVarintLen64 + 1]byte
 	n := binary.PutUvarint(hdr[1:], uint64(len(src)))
 	if len(tokens)+n+1 >= len(src) {
 		hdr[0] = ModeRaw
 		dst = append(dst, hdr[:n+1]...)
 		dst = append(dst, src...)
-		return dst, Stats{SrcBytes: len(src), SearchSteps: st.SearchSteps,
+		st = Stats{SrcBytes: len(src), SearchSteps: st.SearchSteps,
 			Positions: st.Positions, DstBytes: n + 1 + len(src)}
+	} else {
+		hdr[0] = ModeQLZ
+		dst = append(dst, hdr[:n+1]...)
+		dst = append(dst, tokens...)
+		st.DstBytes = n + 1 + len(tokens)
 	}
-	hdr[0] = ModeQLZ
-	dst = append(dst, hdr[:n+1]...)
-	dst = append(dst, tokens...)
-	st.DstBytes = n + 1 + len(tokens)
+	sc.buf = tokens
+	tokenScratchPool.Put(sc)
 	return dst, st
 }
 

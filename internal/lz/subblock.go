@@ -81,7 +81,9 @@ func CompressSubBlocks(src []byte, p SubBlockParams) SubBlockResult {
 		if histStart < 0 {
 			histStart = 0
 		}
-		tokens, st := encodeRange(src[histStart:end], start-histStart, p.Params)
+		// Lane token streams are retained in the result (they travel back
+		// over the simulated PCIe link), so they are not scratch-pooled.
+		tokens, st := encodeRange(nil, src[histStart:end], start-histStart, p.Params)
 		res.Lanes = append(res.Lanes, LaneResult{Tokens: tokens, Stats: st})
 	}
 	return res

@@ -1,0 +1,67 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := New(workers)
+		for _, n := range []int{0, 1, 7, 100, 1024} {
+			hit := make([]int32, n)
+			p.Map(n, func(i int) { atomic.AddInt32(&hit[i], 1) })
+			for i := range hit {
+				if hit[i] != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, hit[i])
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestMapReusesWorkersAcrossCalls(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var total atomic.Int64
+	for round := 0; round < 50; round++ {
+		p.Map(64, func(i int) { total.Add(int64(i)) })
+	}
+	want := int64(50 * 64 * 63 / 2)
+	if total.Load() != want {
+		t.Fatalf("sum: got %d, want %d", total.Load(), want)
+	}
+}
+
+func TestSingleWorkerRunsInline(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	// With one worker, Map must run on the calling goroutine in order.
+	var order []int
+	p.Map(16, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline order broken at %d: %v", i, order)
+		}
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	p := New(0)
+	defer p.Close()
+	if p.Workers() != runtime.NumCPU() {
+		t.Fatalf("workers: got %d, want NumCPU=%d", p.Workers(), runtime.NumCPU())
+	}
+}
+
+func TestCloseIdempotentAndUnstarted(t *testing.T) {
+	p := New(4)
+	p.Close() // never started
+	p.Close() // and again
+	q := New(4)
+	q.Map(8, func(int) {})
+	q.Close()
+	q.Close()
+}

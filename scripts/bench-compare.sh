@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# bench-compare.sh — guard the data-plane wall-clock benchmark against
+# regressions.
+#
+# Runs BenchmarkDataPlaneWallClock and compares it with the checked-in
+# baseline (bench_baseline.txt, recorded with scripts/bench-compare.sh
+# --record on the reference machine). Uses benchstat when it is on PATH;
+# otherwise falls back to a plain geomean comparison of ns/op and
+# allocs/op with a tolerance, so CI needs no extra tooling.
+#
+# Usage:
+#   scripts/bench-compare.sh            # compare against bench_baseline.txt
+#   scripts/bench-compare.sh --record   # rewrite bench_baseline.txt
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASELINE=bench_baseline.txt
+BENCH='BenchmarkDataPlaneWallClock'
+COUNT="${BENCH_COUNT:-5}"
+# Allocation counts are deterministic to within pool-warmup noise; time is
+# host-dependent, so the fallback comparison is deliberately loose on ns/op
+# (CI machines are noisy) and tight on allocs/op.
+TIME_TOLERANCE_PCT="${TIME_TOLERANCE_PCT:-25}"
+ALLOC_TOLERANCE_PCT="${ALLOC_TOLERANCE_PCT:-10}"
+
+run_bench() {
+    go test . -run '^$' -bench "$BENCH" -benchtime 2x -count "$COUNT" -timeout 30m
+}
+
+if [[ "${1:-}" == "--record" ]]; then
+    run_bench | tee "$BASELINE"
+    echo "recorded baseline into $BASELINE"
+    exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "no $BASELINE; run scripts/bench-compare.sh --record first" >&2
+    exit 1
+fi
+
+CURRENT="$(mktemp)"
+trap 'rm -f "$CURRENT"' EXIT
+run_bench | tee "$CURRENT"
+
+if command -v benchstat >/dev/null 2>&1; then
+    echo
+    echo "== benchstat =="
+    benchstat "$BASELINE" "$CURRENT"
+    exit 0
+fi
+
+echo
+echo "== fallback comparison (benchstat not installed) =="
+# geomean <file> <benchmark-substring> <field-index-from-Benchmark-name>
+# Benchmark lines: Name  N  ns/op  [MB/s]  B/op  allocs/op
+geomean() {
+    awk -v name="$2" -v unit="$3" '
+        $1 ~ name {
+            for (i = 2; i <= NF; i++) {
+                if ($i == unit) { sum += log($(i-1)); n++ }
+            }
+        }
+        END {
+            if (n == 0) { print "NaN"; exit 1 }
+            printf "%.0f\n", exp(sum / n)
+        }' "$1"
+}
+
+fail=0
+for sub in serial parallel; do
+    for spec in "ns/op:$TIME_TOLERANCE_PCT" "allocs/op:$ALLOC_TOLERANCE_PCT"; do
+        unit="${spec%%:*}"
+        tol="${spec##*:}"
+        base="$(geomean "$BASELINE" "$BENCH/$sub" "$unit")"
+        cur="$(geomean "$CURRENT" "$BENCH/$sub" "$unit")"
+        limit=$(( base + base * tol / 100 ))
+        status=ok
+        if (( cur > limit )); then
+            if [[ "$unit" == "allocs/op" ]]; then
+                # Allocation counts are host-independent; a jump is a real
+                # regression in the pooled data path.
+                status="REGRESSION (>${tol}% over baseline)"
+                fail=1
+            else
+                # Wall time depends on the machine and its load; warn only.
+                status="WARN (>${tol}% over baseline; advisory)"
+            fi
+        fi
+        printf '%-28s %-10s base=%-12s current=%-12s %s\n' \
+            "$BENCH/$sub" "$unit" "$base" "$cur" "$status"
+    done
+done
+exit "$fail"
