@@ -3,6 +3,7 @@ package inlinered
 import (
 	"time"
 
+	"inlinered/internal/fault"
 	"inlinered/internal/lz"
 	"inlinered/internal/volume"
 )
@@ -22,6 +23,12 @@ type BlockDeviceOptions struct {
 	// CacheBytes bounds the content-addressed read cache; 0 keeps the
 	// 16 MiB default, negative disables caching.
 	CacheBytes int64
+	// FaultRate enables deterministic fault injection on the device's
+	// drive, journal, and index (transient SSD errors, latency spikes, torn
+	// journal records, memory-pressure evictions), scheduled by FaultSeed.
+	// 0 disables injection; a fixed seed makes runs bit-identical.
+	FaultRate float64
+	FaultSeed int64
 }
 
 // BlockDevice is an LBA-addressed deduplicating, compressing volume on the
@@ -53,6 +60,9 @@ func NewBlockDevice(opts BlockDeviceOptions) (*BlockDevice, error) {
 		cfg.CacheBytes = opts.CacheBytes
 	} else if opts.CacheBytes < 0 {
 		cfg.CacheBytes = 0
+	}
+	if opts.FaultRate > 0 {
+		cfg.Faults = fault.Config{Seed: opts.FaultSeed, Rates: fault.Uniform(opts.FaultRate)}
 	}
 	inner, err := volume.New(cfg)
 	if err != nil {

@@ -7,6 +7,7 @@
 //	reducerun [-mode cpu-only|gpu-dedup|gpu-compress|gpu-both|auto]
 //	          [-in FILE | -mb N -dedup R -comp R] [-chunk N]
 //	          [-no-dedup] [-no-compress] [-destage] [-seed N]
+//	          [-faults SEED:RATE]
 //
 // With -mode auto, the dummy-I/O calibration pass of §4(3) picks the
 // fastest integration option for the platform first.
@@ -17,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"inlinered"
 )
@@ -37,7 +40,13 @@ func main() {
 	bypass := flag.Bool("entropy-bypass", false, "store high-entropy chunks raw without compressing")
 	cdc := flag.Bool("cdc", false, "content-defined (Gear) chunking instead of fixed-size")
 	par := flag.Int("par", 0, "host worker threads for the real computation (0 = all cores, 1 = serial; results are identical)")
+	faults := flag.String("faults", "", "deterministic fault injection as SEED:RATE (e.g. 7:0.01); empty disables")
 	flag.Parse()
+
+	faultSeed, faultRate, err := parseFaults(*faults)
+	if err != nil {
+		fatal(err)
+	}
 
 	plat := inlinered.PaperPlatform()
 	if *noGPU {
@@ -52,6 +61,11 @@ func main() {
 		EntropyBypass:      *bypass,
 		ContentDefined:     *cdc,
 		Parallelism:        *par,
+		FaultSeed:          faultSeed,
+		FaultRate:          faultRate,
+	}
+	if faultRate > 0 {
+		fmt.Printf("fault injection: seed %d, rate %g per opportunity\n\n", faultSeed, faultRate)
 	}
 
 	switch *mode {
@@ -108,6 +122,29 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println(rep)
+}
+
+// parseFaults parses the -faults knob: "SEED:RATE" with RATE in [0,1].
+func parseFaults(s string) (seed int64, rate float64, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	colon := strings.IndexByte(s, ':')
+	if colon < 0 {
+		return 0, 0, fmt.Errorf("-faults wants SEED:RATE, got %q", s)
+	}
+	seed, err = strconv.ParseInt(s[:colon], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("-faults seed: %w", err)
+	}
+	rate, err = strconv.ParseFloat(s[colon+1:], 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("-faults rate: %w", err)
+	}
+	if rate < 0 || rate > 1 {
+		return 0, 0, fmt.Errorf("-faults rate must be in [0,1], got %g", rate)
+	}
+	return seed, rate, nil
 }
 
 func fatal(err error) {

@@ -25,6 +25,7 @@ import (
 	"io"
 
 	"inlinered/internal/core"
+	"inlinered/internal/fault"
 	"inlinered/internal/lz"
 	"inlinered/internal/workload"
 )
@@ -91,6 +92,14 @@ type Options struct {
 	// simulation runs on the host: the Report is bit-identical for every
 	// value. 0 means runtime.NumCPU(); 1 forces a serial run.
 	Parallelism int
+	// FaultRate enables deterministic fault injection: every survivable
+	// fault kind (transient SSD errors, latency spikes, torn journal
+	// records, GPU device loss, index memory pressure) fires with this
+	// per-opportunity probability, scheduled by FaultSeed. 0 disables
+	// injection and leaves the Report bit-identical to a build without it;
+	// a fixed seed makes two runs bit-identical, fault counters included.
+	FaultRate float64
+	FaultSeed int64
 }
 
 // Report summarizes a run: throughput (IOPS of chunk-sized writes and
@@ -122,6 +131,9 @@ func (o Options) config() core.Config {
 		cfg.Chunker = core.CDCChunking
 	}
 	cfg.Parallelism = o.Parallelism
+	if o.FaultRate > 0 {
+		cfg.Faults = fault.Config{Seed: o.FaultSeed, Rates: fault.Uniform(o.FaultRate)}
+	}
 	return cfg
 }
 

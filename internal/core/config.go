@@ -5,6 +5,7 @@ import (
 
 	"inlinered/internal/chunk"
 	"inlinered/internal/dedup"
+	"inlinered/internal/fault"
 	"inlinered/internal/lz"
 )
 
@@ -134,6 +135,13 @@ type Config struct {
 	// It changes wall-clock speed only: the simulated virtual-time results
 	// are bit-identical for every value. 0 means runtime.NumCPU().
 	Parallelism int
+
+	// Faults schedules deterministic fault injection across the drive, the
+	// journal, the GPU device, and the index. The zero value injects
+	// nothing and leaves the pipeline bit-identical to a build without
+	// injection. With a fixed seed, two runs of the same workload produce
+	// bit-identical Reports, fault counters included, for any Parallelism.
+	Faults fault.Config
 }
 
 // DefaultConfig returns the paper-faithful configuration: 4 KB chunks,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -10,6 +11,7 @@ import (
 	"inlinered/internal/chunk"
 	"inlinered/internal/cpusim"
 	"inlinered/internal/dedup"
+	"inlinered/internal/fault"
 	"inlinered/internal/gpu"
 	"inlinered/internal/lz"
 	"inlinered/internal/parallel"
@@ -41,6 +43,14 @@ type Engine struct {
 	inflight map[dedup.Fingerprint]*inflightRef
 
 	journal *dedup.JournalWriter // durable image of every bin-buffer flush
+
+	// Fault machinery. The injector is consulted only on the sequential
+	// commit path (drive writes, journal flushes, kernel launches, index
+	// inserts), never in the read-only prediction pass, so a fixed fault
+	// seed stays bit-identical across Parallelism settings.
+	faults      *fault.Injector
+	gpuLost     bool // the device died; all GPU work re-routes to the CPU
+	journalDead bool // journal writes failed permanently; index is memory-only
 
 	rep   Report
 	ran   bool
@@ -170,6 +180,16 @@ func NewEngine(plat Platform, cfg Config) (*Engine, error) {
 	e.journalCur = e.journalBase
 	e.journalLimit = logical
 	e.dataLimit = e.journalBase * int64(e.drive.PageSize)
+	if cfg.Faults.Enabled() {
+		e.faults = fault.New(cfg.Faults)
+		e.drive.SetFaultInjector(e.faults)
+		if e.dev != nil {
+			e.dev.SetFaultInjector(e.faults)
+		}
+		if e.index != nil {
+			e.index.SetFaultInjector(e.faults)
+		}
+	}
 	if cfg.Verify {
 		e.blobs = make(map[int64][]byte)
 	}
@@ -202,11 +222,24 @@ func (e *Engine) JournalImage() []byte {
 	return e.journal.Bytes()
 }
 
-// RecoverIndex replays the run's journal into a fresh index — what a
-// restart after a crash would reconstruct. Entries still in bin buffers at
-// the crash point (never journaled) are absent; their future duplicates
-// would be stored again, the memory-only-index tradeoff of §3.1.
-func (e *Engine) RecoverIndex() (*dedup.BinIndex, error) {
+// RecoverIndex rebuilds an index from the run's journal — what a restart
+// after a crash would reconstruct. Recovery is lenient: a trailing torn or
+// corrupt record truncates the journal there, and everything before the
+// truncation point is applied as a consistent prefix of the flush history
+// (the returned Recovery says what was salvaged). Entries still in bin
+// buffers at the crash point (never journaled) are absent; their future
+// duplicates would be stored again, the memory-only-index tradeoff of §3.1.
+func (e *Engine) RecoverIndex() (*dedup.BinIndex, dedup.Recovery, error) {
+	if e.journal == nil {
+		return nil, dedup.Recovery{}, fmt.Errorf("core: no journal: deduplication disabled")
+	}
+	return dedup.RecoverJournal(e.journal.Bytes(), e.cfg.Index)
+}
+
+// RecoverIndexStrict replays the journal refusing any corruption: a torn
+// or bit-flipped record fails the whole replay with dedup.ErrJournalCorrupt.
+// Use it when the journal is expected pristine (clean shutdown).
+func (e *Engine) RecoverIndexStrict() (*dedup.BinIndex, error) {
 	if e.journal == nil {
 		return nil, fmt.Errorf("core: no journal: deduplication disabled")
 	}
@@ -375,7 +408,7 @@ func (e *Engine) hashBatch(chunks [][]byte) *hashedBatch {
 // use GPU only when ... there is still some work to do for indexing" — a
 // busy GPU queue means there is not).
 func (e *Engine) screen(hb *hashedBatch) {
-	if e.gbins == nil || hb.screened {
+	if e.gbins == nil || hb.screened || e.gpuLost {
 		return
 	}
 	// Anchor at the later of hash completion and the CPU frontier (the
@@ -388,7 +421,14 @@ func (e *Engine) screen(hb *hashedBatch) {
 	if e.dev.NextFree() > at {
 		return
 	}
-	gdone, ghits, _ := e.gbins.BatchIndex(at, hb.fps)
+	gdone, ghits, _, err := e.gbins.BatchIndex(at, hb.fps)
+	if err != nil {
+		// The only failure a batch probe can hit is device loss. The batch
+		// simply stays unscreened: the CPU index path below handles it, and
+		// every later batch skips the GPU entirely.
+		e.gpuDied()
+		return
+	}
 	// Host-side result merge: one staging pass over the batch.
 	mergeCycles := e.cpu.Cost.MemcpyCycles(8*len(hb.fps)) + e.cpu.Cost.StageOverheadCycles
 	_, mergeEnd := e.cpu.Run(gdone, mergeCycles)
@@ -434,7 +474,7 @@ func (e *Engine) precompute(hb *hashedBatch) []preChunk {
 	if e.par <= 1 || !e.cfg.Compress {
 		return nil
 	}
-	gpuMode := e.cfg.Mode.UsesGPUCompress()
+	gpuMode := e.cfg.Mode.UsesGPUCompress() && !e.gpuLost
 	if gpuMode && !e.cfg.SkipIncompressible {
 		return nil // all real compression happens in the GPU batch path
 	}
@@ -640,7 +680,7 @@ func (e *Engine) downstream(hb *hashedBatch) error {
 				continue
 			}
 		}
-		if e.cfg.Compress && e.cfg.Mode.UsesGPUCompress() {
+		if e.cfg.Compress && e.cfg.Mode.UsesGPUCompress() && !e.gpuLost {
 			if e.cfg.Dedup {
 				e.inflight[fps[i]] = &inflightRef{}
 			}
@@ -697,7 +737,6 @@ func (e *Engine) flushGPUCompress() error {
 	}
 	pend := e.pendGPU
 	e.pendGPU = nil
-	gcost := e.dev.Cost
 
 	batchReady := time.Duration(0)
 	srcBytes := 0
@@ -705,6 +744,12 @@ func (e *Engine) flushGPUCompress() error {
 		batchReady = sim.MaxTime(batchReady, p.ready)
 		srcBytes += len(p.data)
 	}
+	if e.gpuLost {
+		// The device died after these chunks were queued (a screening probe
+		// found it first): the whole batch takes the CPU path.
+		return e.fallbackCPUCompress(pend, batchReady)
+	}
+	gcost := e.dev.Cost
 	t := e.dev.TransferToDevice(batchReady, srcBytes)
 
 	// The kernel: every chunk gets Sub.SubBlocks lanes, each compressing
@@ -730,7 +775,19 @@ func (e *Engine) flushGPUCompress() error {
 		p.LocalBytes = int64(srcBytes)
 		return p
 	}}
-	t, _ = e.dev.Launch(t, kernel)
+	var err error
+	t, _, err = e.dev.Launch(t, kernel)
+	if err != nil {
+		if !errors.Is(err, fault.ErrDeviceLost) {
+			return err
+		}
+		// Device lost mid-kernel: the host learns from the failed dispatch,
+		// abandons the device results, and re-runs the batch on the CPU.
+		// Already-retired batches stay valid; everything from here on is
+		// CPU-only.
+		e.gpuDied()
+		return e.fallbackCPUCompress(pend, t)
+	}
 	t = e.dev.TransferFromDevice(t, rawBytes+8*len(pend))
 
 	// CPU post-processing: stitch each chunk's lanes into the final blob.
@@ -754,6 +811,40 @@ func (e *Engine) flushGPUCompress() error {
 		pend[i].data = nil
 	}
 	e.retired = append(e.retired, retiredBatch{t: t, pend: pend, blobs: blobs})
+	return nil
+}
+
+// gpuDied records an injected device loss: the GPU is dead for the rest of
+// the run, and all of its work re-routes to the CPU paths.
+func (e *Engine) gpuDied() {
+	e.gpuLost = true
+	e.rep.Faults.GPUDeviceLost = true
+}
+
+// fallbackCPUCompress is the degraded path for a GPU compression batch whose
+// kernel could not run: the pending unique chunks are compressed with the
+// CPU codec (fanned out across host workers for wall-clock, charged to the
+// virtual CPU pool in stream order) and committed exactly as CPU-mode
+// uniques. The chunks become ready no earlier than at, the virtual time the
+// host learned of the loss.
+func (e *Engine) fallbackCPUCompress(pend []gpuPending, at time.Duration) error {
+	e.rep.Faults.GPUFallbackBatches++
+	cost := e.cpu.Cost
+	blobs := make([][]byte, len(pend))
+	stats := make([]lz.Stats, len(pend))
+	e.pool.Map(len(pend), func(i int) {
+		blobs[i], stats[i] = lz.CompressCodec(e.cfg.Codec, e.blobBufs.Get(len(pend[i].data)+blobHeadroom), pend[i].data, e.cfg.LZ)
+	})
+	for i, p := range pend {
+		base := cost.CompressCycles(stats[i].Positions, stats[i].SearchSteps, stats[i].DstBytes) + cost.StageOverheadCycles
+		e.rep.Stages.Compression += e.seconds(base)
+		err := e.finishUnique(p.fp, blobs[i], sim.MaxTime(p.ready, at), base, int(p.idx))
+		e.chunkBufs.Put(pend[i].data)
+		pend[i].data = nil
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -832,16 +923,13 @@ func (e *Engine) finishUnique(fp dedup.Fingerprint, blob []byte, ready time.Dura
 	}
 	_, end := e.cpu.Run(ready, cycles)
 	if pages > 0 {
-		if _, err := e.drive.Write(end, firstPage, int(pages)); err != nil {
+		if _, err := e.writeDrive(end, firstPage, int(pages)); err != nil {
 			return err
 		}
 	}
 	if flush != nil {
-		e.journal.Append(flush)
-		if err := e.writeJournal(end, flush.Bytes); err != nil {
-			return err
-		}
-		if e.gbins != nil {
+		e.journalFlush(end, flush)
+		if e.gbins != nil && !e.gpuLost {
 			if _, err := e.gbins.Update(end, e.gpuBin(flush.Bin), flush.Keys(), flush.Values()); err != nil {
 				return err
 			}
@@ -866,6 +954,48 @@ func (e *Engine) gpuBin(cpuBin uint32) uint32 {
 	return cpuBin >> uint(e.cfg.Index.BinBits-e.cfg.GPUBinBits)
 }
 
+// writeDrive issues one drive write with the shared bounded-retry policy:
+// transient errors are retried up to fault.MaxRetries times with
+// exponential backoff charged to the virtual clock; a permanent error (or
+// an exhausted retry budget) surfaces to the caller.
+func (e *Engine) writeDrive(at time.Duration, lpn int64, pages int) (time.Duration, error) {
+	for attempt := 0; ; attempt++ {
+		end, err := e.drive.Write(at, lpn, pages)
+		if err == nil {
+			return end, nil
+		}
+		if !fault.IsTransient(err) || attempt >= fault.MaxRetries {
+			return end, err
+		}
+		e.rep.Faults.SSDWriteRetries++
+		at += fault.Backoff(attempt)
+	}
+}
+
+// journalFlush persists one bin-buffer flush record. An injected torn
+// record simulates a crash mid-write: only the leading bytes of the record
+// reach the image, so recovery truncates the journal there. A permanent
+// journal-write failure degrades gracefully — journaling stops, the run
+// continues with a memory-only index (§3.3's documented tradeoff), and the
+// failure is counted.
+func (e *Engine) journalFlush(at time.Duration, f *dedup.Flush) {
+	if e.journal == nil || e.journalDead {
+		return
+	}
+	if frac, torn := e.faults.TornFraction(); torn {
+		e.journal.AppendTorn(f, frac)
+		e.rep.Faults.JournalTornRecords++
+		_ = e.writeJournal(at, f.Bytes) // the partial write still happened
+		return
+	}
+	if err := e.writeJournal(at, f.Bytes); err != nil {
+		e.journalDead = true
+		e.rep.Faults.JournalWriteFailures++
+		return
+	}
+	e.journal.Append(f)
+}
+
 // writeJournal appends one bin-buffer flush to the sequential journal
 // region ("this creates the appropriate sequential writes for the SSD",
 // §3.3), wrapping at the region end.
@@ -877,7 +1007,7 @@ func (e *Engine) writeJournal(at time.Duration, bytes int) error {
 	if e.journalCur+pages > e.journalLimit {
 		e.journalCur = e.journalBase
 	}
-	if _, err := e.drive.Write(at, e.journalCur, int(pages)); err != nil {
+	if _, err := e.writeDrive(at, e.journalCur, int(pages)); err != nil {
 		return err
 	}
 	e.journalCur += pages
@@ -892,18 +1022,15 @@ func (e *Engine) finalFlush() {
 	at := e.cpu.Pool.Horizon()
 	if e.dataCursor%int64(e.drive.PageSize) != 0 {
 		// The final partial page of the data log.
-		_, _ = e.drive.Write(at, e.dataCursor/int64(e.drive.PageSize), 1)
+		_, _ = e.writeDrive(at, e.dataCursor/int64(e.drive.PageSize), 1)
 	}
 	if e.index == nil {
 		return
 	}
 	for _, f := range e.index.FlushAll() {
-		e.journal.Append(f)
 		_, at = e.cpu.Run(at, float64(f.TreeSteps)*e.cpu.Cost.TreeStepCycles)
-		if err := e.writeJournal(at, f.Bytes); err != nil {
-			return // journal region exhausted at teardown; stats still valid
-		}
-		if e.gbins != nil {
+		e.journalFlush(at, f)
+		if e.gbins != nil && !e.gpuLost {
 			_, _ = e.gbins.Update(at, e.gpuBin(f.Bin), f.Keys(), f.Values())
 		}
 	}
@@ -943,6 +1070,15 @@ func (e *Engine) finish() {
 		r.IndexEntries = e.index.Len()
 		r.IndexMemory = e.index.MemoryBytes()
 		r.IndexEvictions = e.index.Evicted()
+	}
+	if e.faults != nil {
+		r.Faults.LatencySpikes = r.SSD.LatencySpikes
+		if e.journal != nil {
+			r.Faults.JournalTornRecords = int64(e.journal.TornRecords())
+		}
+		if e.index != nil {
+			r.Faults.IndexEvictions = e.index.FaultEvicted()
+		}
 	}
 }
 

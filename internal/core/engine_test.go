@@ -530,9 +530,12 @@ func TestJournalRecovery(t *testing.T) {
 	if len(eng.JournalImage()) == 0 {
 		t.Fatal("dedup run should journal its flushes")
 	}
-	rec, err := eng.RecoverIndex()
+	rec, rcv, err := eng.RecoverIndex()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if rcv.Truncated {
+		t.Fatalf("clean shutdown journal reported truncation: %+v", rcv)
 	}
 	// Clean shutdown (finalFlush journals everything): the recovered index
 	// holds every unique chunk's entry.
@@ -564,7 +567,7 @@ func TestRecoverIndexWithoutDedup(t *testing.T) {
 	cfg.Dedup = false
 	s := testStream(t, 1<<20, 1.0, 1.0, workload.RefUniform)
 	eng, _ := runPipeline(t, PaperPlatform(), cfg, s)
-	if _, err := eng.RecoverIndex(); err == nil {
+	if _, _, err := eng.RecoverIndex(); err == nil {
 		t.Fatal("recovery without dedup should error")
 	}
 	if eng.JournalImage() != nil {

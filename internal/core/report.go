@@ -78,8 +78,28 @@ type Report struct {
 	SSDWriteAmp float64
 	MaxErase    int
 
+	Faults FaultStats
+
 	Stages Breakdown
 }
+
+// FaultStats reports what the run survived: injected faults that fired and
+// the recovery/degradation actions the pipeline took. All zero (and absent
+// from String) when fault injection is off, keeping rate-0 Reports
+// bit-identical to a build without injection.
+type FaultStats struct {
+	SSDWriteRetries      int64 // transient write errors cleared by retry
+	SSDReadRetries       int64 // transient read errors cleared by retry
+	LatencySpikes        int64 // injected latency spikes absorbed
+	JournalTornRecords   int64 // flush records torn mid-write
+	JournalWriteFailures int64 // permanent journal-write failures (journaling degraded off)
+	GPUFallbackBatches   int64 // compression batches re-run on the CPU after device loss
+	GPUDeviceLost        bool  // the GPU died mid-run and stayed dead
+	IndexEvictions       int64 // entries evicted by injected memory pressure
+}
+
+// Any reports whether any fault activity was recorded.
+func (f FaultStats) Any() bool { return f != (FaultStats{}) }
 
 // SpeedupOver returns this report's IOPS relative to a baseline run.
 func (r *Report) SpeedupOver(base *Report) float64 {
@@ -104,6 +124,12 @@ func (r *Report) String() string {
 		100*r.CPUUtil, 100*r.GPUUtil, 100*r.GPULinkUtil, 100*r.SSDUtil, r.GPUKernels)
 	fmt.Fprintf(&b, "  ssd: hostW=%d nandW=%d WA=%.2f erases=%d maxErase=%d\n",
 		r.SSD.HostWritePages, r.SSD.NANDWritePages, r.SSDWriteAmp, r.SSD.Erases, r.MaxErase)
+	if r.Faults.Any() {
+		fmt.Fprintf(&b, "  faults: ssd-write-retries=%d ssd-read-retries=%d spikes=%d journal-torn=%d journal-failed=%d gpu-lost=%v gpu-fallback=%d index-evict=%d\n",
+			r.Faults.SSDWriteRetries, r.Faults.SSDReadRetries, r.Faults.LatencySpikes,
+			r.Faults.JournalTornRecords, r.Faults.JournalWriteFailures,
+			r.Faults.GPUDeviceLost, r.Faults.GPUFallbackBatches, r.Faults.IndexEvictions)
+	}
 	if total := r.Stages.Total(); total > 0 {
 		fmt.Fprintf(&b, "  cpu stages: chunk=%.1f%% hash=%.1f%% index=%.1f%% compress=%.1f%% postproc=%.1f%% insert=%.1f%% gpu-merge=%.1f%%",
 			100*r.Stages.Chunking/total, 100*r.Stages.Hashing/total, 100*r.Stages.Indexing/total,

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sync/atomic"
+
+	"inlinered/internal/fault"
 )
 
 // IndexConfig parameterizes the bin-based index of §3.1.
@@ -125,6 +127,12 @@ type BinIndex struct {
 	// per-bin and therefore race-free under bin partitioning.
 	entries atomic.Int64
 	evicted atomic.Int64
+
+	// faults injects memory-pressure evictions (consulted once per
+	// insert, on the sequential commit path only); faultEvicted counts
+	// the entries it dropped, separately from the MaxEntries policy.
+	faults       *fault.Injector
+	faultEvicted int64
 }
 
 // NewBinIndex returns an index for cfg, or an error if cfg is invalid.
@@ -150,6 +158,41 @@ func (x *BinIndex) Len() int64 { return x.entries.Load() }
 
 // Evicted returns how many entries the random replacement policy dropped.
 func (x *BinIndex) Evicted() int64 { return x.evicted.Load() }
+
+// SetFaultInjector threads a deterministic fault injector through the
+// index: each insert may be followed by a memory-pressure eviction of one
+// resident tree entry (the degraded twin of the MaxEntries policy). Only
+// the sequential insert path consults the injector; lookups never do, so
+// read-only prediction passes cannot perturb the fault schedule.
+func (x *BinIndex) SetFaultInjector(fi *fault.Injector) { x.faults = fi }
+
+// FaultEvicted returns how many entries injected memory pressure dropped.
+func (x *BinIndex) FaultEvicted() int64 { return x.faultEvicted }
+
+// Walk visits every resident entry (bin buffers first, then bin trees)
+// until fn returns false. Keys are the stored suffixes; callers must not
+// retain or mutate them.
+func (x *BinIndex) Walk(fn func(bin uint32, key []byte, e Entry) bool) {
+	for i := range x.bins {
+		b := &x.bins[i]
+		for _, be := range b.buf {
+			if !fn(uint32(i), be.key, be.val) {
+				return
+			}
+		}
+		stop := false
+		b.tree.Walk(func(key []byte, v Entry) bool {
+			if !fn(uint32(i), key, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
 
 // EntryBytes returns the per-entry memory footprint under this
 // configuration's prefix truncation.
@@ -223,10 +266,34 @@ func (x *BinIndex) Insert(fp Fingerprint, e Entry) InsertResult {
 	b.buf = append(b.buf, bufEntry{key: key, val: e})
 	x.entries.Add(1)
 	res.Evicted = x.enforceCap(binID)
+	if x.faults.EvictIndex() {
+		res.Evicted += x.evictUnderPressure(binID)
+	}
 	if len(b.buf) >= x.cfg.BufferEntries {
 		res.Flush = x.flush(binID)
 	}
 	return res
+}
+
+// evictUnderPressure drops one resident tree entry in response to an
+// injected memory-pressure fault: the inserting bin's tree when it has
+// entries, else the globally largest tree. Buffered (not-yet-flushed)
+// entries are never dropped — memory pressure reclaims the cold, flushed
+// part of the index, mirroring the MaxEntries policy.
+func (x *BinIndex) evictUnderPressure(binID uint32) int {
+	t := &x.bins[binID].tree
+	if t.Len() == 0 {
+		t = x.largestTree()
+		if t == nil || t.Len() == 0 {
+			return 0
+		}
+	}
+	if _, _, ok := t.DeleteAt(x.faults.Rank(t.Len())); !ok {
+		return 0
+	}
+	x.entries.Add(-1)
+	x.faultEvicted++
+	return 1
 }
 
 // flush moves the whole bin buffer into the bin tree.

@@ -108,9 +108,11 @@ func (g *GPUBins) slot(bin uint32, s int32) []byte {
 // Per §3.1(2), lanes in a wavefront run in lockstep, so a wavefront's scan
 // costs its longest lane — the profile is built from the real per-item scan
 // lengths.
-func (g *GPUBins) BatchIndex(at time.Duration, fps []Fingerprint) (time.Duration, []GPUHit, gpu.Profile) {
+// A lost device fails the batch with fault.ErrDeviceLost before any outcome
+// is produced; the caller falls back to the host index.
+func (g *GPUBins) BatchIndex(at time.Duration, fps []Fingerprint) (time.Duration, []GPUHit, gpu.Profile, error) {
 	if len(fps) == 0 {
-		return at, nil, gpu.Profile{}
+		return at, nil, gpu.Profile{}, nil
 	}
 	// Host -> device: the hash values only (metadata never crosses, §3.1(2)).
 	t := g.dev.TransferToDevice(at, len(fps)*FingerprintSize)
@@ -142,7 +144,10 @@ func (g *GPUBins) BatchIndex(at time.Duration, fps []Fingerprint) (time.Duration
 		p.LocalBytes = localBytes
 		return p
 	}}
-	t, prof := g.dev.Launch(t, kernel)
+	t, prof, err := g.dev.Launch(t, kernel)
+	if err != nil {
+		return t, nil, gpu.Profile{}, err
+	}
 
 	// Device -> host: one (hit, slot) pair per item.
 	t = g.dev.TransferFromDevice(t, len(fps)*8)
@@ -154,7 +159,7 @@ func (g *GPUBins) BatchIndex(at time.Duration, fps []Fingerprint) (time.Duration
 			g.misses++
 		}
 	}
-	return t, hits, prof
+	return t, hits, prof, nil
 }
 
 // Update pushes a flushed bin-buffer batch into the device bin, appending

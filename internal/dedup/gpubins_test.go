@@ -60,7 +60,7 @@ func TestGPUBinsUpdateThenIndex(t *testing.T) {
 	}
 
 	batch := []Fingerprint{fpFor(1), fpFor(99), fpFor(3)}
-	done, hits, prof := g.BatchIndex(0, batch)
+	done, hits, prof, _ := g.BatchIndex(0, batch)
 	if done <= 0 {
 		t.Fatal("batch index must consume virtual time")
 	}
@@ -84,7 +84,7 @@ func TestGPUBinsUpdateThenIndex(t *testing.T) {
 
 func TestGPUBinsEmptyBatch(t *testing.T) {
 	g := newTestGPUBins(t, testDevice(), 4, 4, 0)
-	done, hits, prof := g.BatchIndex(5*time.Microsecond, nil)
+	done, hits, prof, _ := g.BatchIndex(5*time.Microsecond, nil)
 	if done != 5*time.Microsecond || hits != nil || prof.Items != 0 {
 		t.Fatal("empty batch should be free")
 	}
@@ -95,7 +95,7 @@ func TestGPUBinsLaunchOverheadDominatesSmallBatches(t *testing.T) {
 	// total never drops below the launch overhead.
 	dev := testDevice()
 	g := newTestGPUBins(t, dev, 8, 64, 0)
-	done1, _, _ := g.BatchIndex(0, []Fingerprint{fpFor(1)})
+	done1, _, _, _ := g.BatchIndex(0, []Fingerprint{fpFor(1)})
 	if done1 < dev.LaunchOverhead {
 		t.Fatalf("one-item batch beat the launch floor: %v < %v", done1, dev.LaunchOverhead)
 	}
@@ -104,7 +104,7 @@ func TestGPUBinsLaunchOverheadDominatesSmallBatches(t *testing.T) {
 	for i := range big {
 		big[i] = fpFor(i)
 	}
-	done2, _, _ := g.BatchIndex(start, big)
+	done2, _, _, _ := g.BatchIndex(start, big)
 	perItemSmall := done1
 	perItemBig := (done2 - start) / 4096
 	if perItemBig >= perItemSmall {
@@ -133,7 +133,7 @@ func TestGPUBinsRandomReplacement(t *testing.T) {
 	for i := range batch {
 		batch[i] = fpFor(i)
 	}
-	_, hits, _ := g.BatchIndex(0, batch)
+	_, hits, _, _ := g.BatchIndex(0, batch)
 	found := 0
 	for i, h := range hits {
 		if h.Found {
@@ -171,7 +171,7 @@ func TestGPUBinsWithPrefixTruncation(t *testing.T) {
 	if _, err := g.Update(0, fp.Bin(16), [][]byte{fp.Suffix(2)}, []Entry{{Loc: 7}}); err != nil {
 		t.Fatal(err)
 	}
-	_, hits, _ := g.BatchIndex(0, []Fingerprint{fp, fpFor(8)})
+	_, hits, _, _ := g.BatchIndex(0, []Fingerprint{fp, fpFor(8)})
 	if !hits[0].Found || hits[0].Entry.Loc != 7 || hits[1].Found {
 		t.Fatalf("truncated GPU index broken: %+v", hits)
 	}
@@ -202,7 +202,7 @@ func TestGPUBinsDivergenceFromUnevenBins(t *testing.T) {
 		batch[i] = fpFor(i + 1000) // misses across many bins, most empty
 	}
 	batch[0] = heavy // forces a long scan in lane 0
-	_, _, prof := g.BatchIndex(0, batch)
+	_, _, prof, _ := g.BatchIndex(0, batch)
 	if f := prof.DivergenceFactor(dev.WavefrontSize); f <= 1.0 {
 		t.Fatalf("expected SIMT divergence > 1, got %g", f)
 	}

@@ -17,9 +17,11 @@ import (
 // *entire chunk* across PCIe (4 KB per chunk, 200× the 20 bytes an
 // index-probe offload moves), which is exactly the bandwidth the
 // integrated design would rather spend on compression offload.
-func GPUBatchHash(dev *gpu.Device, at time.Duration, chunks [][]byte) (time.Duration, []Fingerprint, gpu.Profile) {
+// A lost device fails the batch with fault.ErrDeviceLost; the caller
+// re-hashes the same chunks on the CPU.
+func GPUBatchHash(dev *gpu.Device, at time.Duration, chunks [][]byte) (time.Duration, []Fingerprint, gpu.Profile, error) {
 	if len(chunks) == 0 {
-		return at, nil, gpu.Profile{}
+		return at, nil, gpu.Profile{}, nil
 	}
 	total := 0
 	for _, c := range chunks {
@@ -39,7 +41,10 @@ func GPUBatchHash(dev *gpu.Device, at time.Duration, chunks [][]byte) (time.Dura
 		p.LocalBytes = int64(total)
 		return p
 	}}
-	t, prof := dev.Launch(t, kernel)
+	t, prof, err := dev.Launch(t, kernel)
+	if err != nil {
+		return t, nil, gpu.Profile{}, err
+	}
 	t = dev.TransferFromDevice(t, len(chunks)*FingerprintSize)
-	return t, fps, prof
+	return t, fps, prof, nil
 }

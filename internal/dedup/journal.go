@@ -5,16 +5,17 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 )
 
 // The index journal is the durable form of §3.3's bin-buffer flushes: "when
 // the buffer is full, the hash is immediately flushed from the buffer to
 // the storage. This creates the appropriate sequential writes for the SSD."
-// Each flush appends one self-describing record; replaying the journal
-// after a crash rebuilds every flushed index entry. Entries still sitting
-// in bin buffers at the moment of the crash were never journaled and are
-// lost — the memory-only-index tradeoff: their future duplicates are simply
-// stored again.
+// Each flush appends one self-describing, checksummed record; replaying the
+// journal after a crash rebuilds every flushed index entry. Entries still
+// sitting in bin buffers at the moment of the crash were never journaled
+// and are lost — the memory-only-index tradeoff: their future duplicates
+// are simply stored again.
 //
 // Record format (little-endian):
 //
@@ -23,17 +24,29 @@ import (
 //	uvarint entry count
 //	per entry: key suffix (fixed width = 20 - PrefixBytes), uvarint loc,
 //	           uvarint size
+//	crc32c (4 bytes LE) over everything above, magic included
+//
+// The trailing CRC makes torn (partially persisted) and bit-flipped
+// records detectable: recovery truncates the journal at the first record
+// whose checksum or structure does not hold, and everything before that
+// point is a consistent prefix of the flush history.
 
 // ErrJournalCorrupt is wrapped by every journal decode error.
 var ErrJournalCorrupt = errors.New("dedup: corrupt journal")
 
 const journalMagic = 'J'
 
+// castagnoli is the CRC polynomial used by the journal records (the same
+// one real storage stacks use for on-disk metadata).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 // JournalWriter serializes bin-buffer flushes into a journal image.
 type JournalWriter struct {
 	prefixBytes int
 	buf         bytes.Buffer
+	scratch     []byte
 	records     int
+	torn        int
 }
 
 // NewJournalWriter returns a writer for an index with the given prefix
@@ -48,79 +61,213 @@ func NewJournalWriter(prefixBytes int) *JournalWriter {
 	return &JournalWriter{prefixBytes: prefixBytes}
 }
 
-// Append serializes one flush record and returns the bytes written.
-func (w *JournalWriter) Append(f *Flush) int {
-	before := w.buf.Len()
-	w.buf.WriteByte(journalMagic)
+// encode serializes one flush record (checksum included) into dst.
+func (w *JournalWriter) encode(dst []byte, f *Flush) []byte {
+	dst = append(dst, journalMagic)
 	var tmp [binary.MaxVarintLen64]byte
 	put := func(v uint64) {
 		n := binary.PutUvarint(tmp[:], v)
-		w.buf.Write(tmp[:n])
+		dst = append(dst, tmp[:n]...)
 	}
 	put(uint64(f.Bin))
 	put(uint64(len(f.Entries)))
 	for _, e := range f.Entries {
-		w.buf.Write(e.key)
+		dst = append(dst, e.key...)
 		put(uint64(e.val.Loc))
 		put(uint64(e.val.Size))
 	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(dst, castagnoli))
+	return append(dst, crc[:]...)
+}
+
+// Append serializes one flush record and returns the bytes written.
+func (w *JournalWriter) Append(f *Flush) int {
+	w.scratch = w.encode(w.scratch[:0], f)
+	w.buf.Write(w.scratch)
 	w.records++
-	return w.buf.Len() - before
+	return len(w.scratch)
+}
+
+// AppendTorn simulates a crash mid-flush: only the leading frac of the
+// record's bytes reach the image (at least one byte, never the whole
+// record), so recovery will find a torn record at this offset and
+// truncate there. Returns the bytes actually written.
+func (w *JournalWriter) AppendTorn(f *Flush, frac float64) int {
+	w.scratch = w.encode(w.scratch[:0], f)
+	keep := int(frac * float64(len(w.scratch)))
+	if keep < 1 {
+		keep = 1
+	}
+	if keep >= len(w.scratch) {
+		keep = len(w.scratch) - 1
+	}
+	w.buf.Write(w.scratch[:keep])
+	w.torn++
+	return keep
 }
 
 // Bytes returns the journal image accumulated so far.
 func (w *JournalWriter) Bytes() []byte { return w.buf.Bytes() }
 
-// Records returns the number of flush records appended.
+// Records returns the number of complete flush records appended.
 func (w *JournalWriter) Records() int { return w.records }
 
-// ReplayJournal rebuilds an index from a journal image: every journaled
-// entry is inserted (buffered then flushed), so the recovered index finds
-// everything that had reached the bin trees before the crash. cfg must
-// match the original index's configuration.
+// TornRecords returns the number of torn (partially persisted) records.
+func (w *JournalWriter) TornRecords() int { return w.torn }
+
+// JournalRecord is one decoded flush record and its extent in the image.
+type JournalRecord struct {
+	Offset int // byte offset of the record's magic
+	Size   int // record length in bytes, checksum included
+	Bin    uint32
+	Keys   [][]byte
+	Vals   []Entry
+}
+
+// Recovery describes what a lenient journal replay salvaged.
+type Recovery struct {
+	Records     int  // complete records applied
+	Entries     int  // entries inserted into the recovered index
+	Truncated   bool // the image ended in a torn or corrupt record
+	TruncatedAt int  // byte offset of the first unusable record
+	// Cause is the decode error at the truncation point (nil on a clean
+	// image). It always wraps ErrJournalCorrupt.
+	Cause error
+}
+
+// decodeRecord parses the record starting at off. It validates structure
+// and checksum before returning; a failed parse reports the record
+// unusable without partial effects.
+func decodeRecord(image []byte, off int, keyLen, bins int) (JournalRecord, error) {
+	rec := JournalRecord{Offset: off}
+	corrupt := func(format string, args ...interface{}) (JournalRecord, error) {
+		return rec, fmt.Errorf("%w: record at %d: %s", ErrJournalCorrupt, off, fmt.Sprintf(format, args...))
+	}
+	p := off
+	if image[p] != journalMagic {
+		return corrupt("bad magic %#x", image[p])
+	}
+	p++
+	bin, n := binary.Uvarint(image[p:])
+	if n <= 0 {
+		return corrupt("bin id")
+	}
+	p += n
+	if bin >= uint64(bins) {
+		return corrupt("bin %d out of range", bin)
+	}
+	count, n := binary.Uvarint(image[p:])
+	if n <= 0 || count > 1<<20 {
+		return corrupt("entry count")
+	}
+	p += n
+	rec.Bin = uint32(bin)
+	for i := uint64(0); i < count; i++ {
+		if p+keyLen > len(image) {
+			return corrupt("truncated key")
+		}
+		key := image[p : p+keyLen]
+		p += keyLen
+		loc, n := binary.Uvarint(image[p:])
+		if n <= 0 {
+			return corrupt("loc")
+		}
+		p += n
+		size, n := binary.Uvarint(image[p:])
+		if n <= 0 || size > 1<<31 {
+			return corrupt("size")
+		}
+		p += n
+		rec.Keys = append(rec.Keys, key)
+		rec.Vals = append(rec.Vals, Entry{Loc: int64(loc), Size: uint32(size)})
+	}
+	if p+4 > len(image) {
+		return corrupt("truncated checksum")
+	}
+	want := binary.LittleEndian.Uint32(image[p : p+4])
+	if got := crc32.Checksum(image[off:p], castagnoli); got != want {
+		return corrupt("checksum mismatch (stored %#x, computed %#x)", want, got)
+	}
+	rec.Size = p + 4 - off
+	return rec, nil
+}
+
+// ScanJournal decodes an image into its complete records, stopping at the
+// first torn or corrupt one. cfg supplies the key width (PrefixBytes) and
+// bin range the records were written under. The returned Recovery
+// describes where (and why) the scan stopped; it never returns an error
+// for image corruption — only callers that demand a pristine image
+// (ReplayJournal) promote Recovery.Cause to a hard failure.
+func ScanJournal(image []byte, cfg IndexConfig) ([]JournalRecord, Recovery) {
+	keyLen := FingerprintSize - cfg.PrefixBytes
+	bins := 1 << uint(cfg.BinBits)
+	var recs []JournalRecord
+	var rcv Recovery
+	off := 0
+	for off < len(image) {
+		rec, err := decodeRecord(image, off, keyLen, bins)
+		if err != nil {
+			rcv.Truncated = true
+			rcv.TruncatedAt = off
+			rcv.Cause = err
+			return recs, rcv
+		}
+		recs = append(recs, rec)
+		rcv.Records++
+		rcv.Entries += len(rec.Keys)
+		off += rec.Size
+	}
+	return recs, rcv
+}
+
+// apply inserts a decoded record straight into the recovered index's bin
+// tree (journaled entries had already flushed when they were written).
+func applyRecord(idx *BinIndex, rec JournalRecord) {
+	b := &idx.bins[rec.Bin]
+	for i, key := range rec.Keys {
+		k := make([]byte, len(key))
+		copy(k, key)
+		if _, replaced := b.tree.Insert(k, rec.Vals[i]); !replaced {
+			idx.entries.Add(1)
+		}
+	}
+}
+
+// ReplayJournal rebuilds an index from a journal image in strict mode:
+// any torn or corrupt record fails the whole replay with
+// ErrJournalCorrupt. cfg must match the original index's configuration.
+// Use RecoverJournal for crash recovery, where a trailing torn record is
+// expected and the consistent prefix is wanted.
 func ReplayJournal(image []byte, cfg IndexConfig) (*BinIndex, error) {
 	idx, err := NewBinIndex(cfg)
 	if err != nil {
 		return nil, err
 	}
-	keyLen := FingerprintSize - cfg.PrefixBytes
-	r := bytes.NewReader(image)
-	for r.Len() > 0 {
-		m, err := r.ReadByte()
-		if err != nil || m != journalMagic {
-			return nil, fmt.Errorf("%w: bad record magic %#x", ErrJournalCorrupt, m)
-		}
-		bin, err := binary.ReadUvarint(r)
-		if err != nil {
-			return nil, fmt.Errorf("%w: bin id: %v", ErrJournalCorrupt, err)
-		}
-		if bin >= uint64(idx.Bins()) {
-			return nil, fmt.Errorf("%w: bin %d out of range", ErrJournalCorrupt, bin)
-		}
-		count, err := binary.ReadUvarint(r)
-		if err != nil || count > 1<<20 {
-			return nil, fmt.Errorf("%w: entry count", ErrJournalCorrupt)
-		}
-		for i := uint64(0); i < count; i++ {
-			key := make([]byte, keyLen)
-			if _, err := r.Read(key); err != nil {
-				return nil, fmt.Errorf("%w: truncated key", ErrJournalCorrupt)
-			}
-			loc, err := binary.ReadUvarint(r)
-			if err != nil {
-				return nil, fmt.Errorf("%w: loc", ErrJournalCorrupt)
-			}
-			size, err := binary.ReadUvarint(r)
-			if err != nil || size > 1<<31 {
-				return nil, fmt.Errorf("%w: size", ErrJournalCorrupt)
-			}
-			// Insert straight into the bin tree: journaled entries had
-			// already flushed when they were written.
-			b := &idx.bins[bin]
-			if _, replaced := b.tree.Insert(key, Entry{Loc: int64(loc), Size: uint32(size)}); !replaced {
-				idx.entries.Add(1)
-			}
-		}
+	recs, rcv := ScanJournal(image, cfg)
+	if rcv.Truncated {
+		return nil, rcv.Cause
+	}
+	for _, rec := range recs {
+		applyRecord(idx, rec)
 	}
 	return idx, nil
+}
+
+// RecoverJournal rebuilds an index from the longest consistent prefix of
+// a journal image: decoding stops at the first torn or corrupt record
+// (the crash point), every complete record before it is applied, and the
+// returned Recovery reports what was salvaged and where the image was
+// truncated. The error is non-nil only for an unusable configuration —
+// corruption itself is recoverable by construction.
+func RecoverJournal(image []byte, cfg IndexConfig) (*BinIndex, Recovery, error) {
+	idx, err := NewBinIndex(cfg)
+	if err != nil {
+		return nil, Recovery{}, err
+	}
+	recs, rcv := ScanJournal(image, cfg)
+	for _, rec := range recs {
+		applyRecord(idx, rec)
+	}
+	return idx, rcv, nil
 }

@@ -84,7 +84,7 @@ func E1PrelimIndexing(cfg Config) (*Result, error) {
 
 		// GPU: one batch round trip (transfer, kernel, results back).
 		dev.Reset()
-		gpuTime, _, _ := gbins.BatchIndex(0, fps)
+		gpuTime, _, _, _ := gbins.BatchIndex(0, fps)
 
 		ratio := gpuTime.Seconds() / cpuTime.Seconds()
 		if minRatio == 0 || ratio < minRatio {

@@ -112,7 +112,11 @@ func E7Endurance(cfg Config) (*Result, error) {
 		if t+n > rawPages {
 			n = rawPages - t
 		}
-		at = drive.Read(at, t, int(n))
+		if at2, err := drive.Read(at, t, int(n)); err != nil {
+			return nil, err
+		} else {
+			at = at2
+		}
 	}
 	base := rawPages
 	for t = 0; t < reducedPages; t += 256 {

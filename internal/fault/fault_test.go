@@ -1,0 +1,189 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// drain exercises every decision method once and records the outcomes in
+// a comparable form.
+type decision struct {
+	writeErr  string
+	readErr   string
+	latency   time.Duration
+	tornFrac  float64
+	torn      bool
+	lost      bool
+	evict     bool
+	evictRank int
+}
+
+func drain(inj *Injector, n int) []decision {
+	out := make([]decision, n)
+	for i := range out {
+		d := &out[i]
+		if err := inj.WriteError(); err != nil {
+			d.writeErr = err.Error()
+		}
+		if err := inj.ReadError(); err != nil {
+			d.readErr = err.Error()
+		}
+		d.latency = inj.Latency()
+		d.tornFrac, d.torn = inj.TornFraction()
+		d.lost = inj.DeviceLost()
+		d.evict = inj.EvictIndex()
+		d.evictRank = inj.Rank(17)
+	}
+	return out
+}
+
+func TestNilInjectorIsSilent(t *testing.T) {
+	var inj *Injector
+	for _, d := range drain(inj, 100) {
+		if d.writeErr != "" || d.readErr != "" || d.latency != 0 || d.torn || d.lost || d.evict {
+			t.Fatalf("nil injector produced a fault: %+v", d)
+		}
+	}
+	if inj.Counts().Total() != 0 {
+		t.Fatal("nil injector counted faults")
+	}
+}
+
+func TestZeroRatesInjectNothing(t *testing.T) {
+	cfg := Config{Seed: 42}
+	if cfg.Enabled() {
+		t.Fatal("zero rates should report disabled")
+	}
+	inj := New(cfg)
+	for _, d := range drain(inj, 1000) {
+		if d.writeErr != "" || d.readErr != "" || d.latency != 0 || d.torn || d.lost || d.evict {
+			t.Fatalf("zero-rate injector produced a fault: %+v", d)
+		}
+	}
+}
+
+func TestSameSeedSameDecisions(t *testing.T) {
+	cfg := Config{Seed: 7, Rates: Uniform(0.05)}
+	a := drain(New(cfg), 5000)
+	b := drain(New(cfg), 5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	ca, cb := New(cfg), New(cfg)
+	drain(ca, 5000)
+	drain(cb, 5000)
+	if ca.Counts() != cb.Counts() {
+		t.Fatalf("counts differ: %+v vs %+v", ca.Counts(), cb.Counts())
+	}
+	if ca.Counts().Total() == 0 {
+		t.Fatal("expected some faults at rate 0.05 over 5000 consults")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := drain(New(Config{Seed: 1, Rates: Uniform(0.1)}), 2000)
+	b := drain(New(Config{Seed: 2, Rates: Uniform(0.1)}), 2000)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+// TestStreamsAreIndependent: consulting one site more often must not
+// shift another site's decisions.
+func TestStreamsAreIndependent(t *testing.T) {
+	cfg := Config{Seed: 99, Rates: Uniform(0.2)}
+	a, b := New(cfg), New(cfg)
+	// a: interleave write consults with everything else; b: writes only
+	// first, then the rest. The read/torn/lost streams must match.
+	var aRead, bRead []bool
+	for i := 0; i < 1000; i++ {
+		a.WriteError()
+		aRead = append(aRead, a.ReadError() != nil)
+	}
+	for i := 0; i < 5000; i++ {
+		b.WriteError() // consume the write stream far deeper
+	}
+	for i := 0; i < 1000; i++ {
+		bRead = append(bRead, b.ReadError() != nil)
+	}
+	for i := range aRead {
+		if aRead[i] != bRead[i] {
+			t.Fatalf("read stream decision %d shifted with write-consult frequency", i)
+		}
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	inj := New(Config{Seed: 1, Rates: Rates{SSDWriteTransient: 1}})
+	err := inj.WriteError()
+	if !IsTransient(err) {
+		t.Fatalf("want transient, got %v", err)
+	}
+	if errors.Is(err, ErrPermanent) {
+		t.Fatal("transient error must not match permanent")
+	}
+	inj = New(Config{Seed: 1, Rates: Rates{SSDWritePermanent: 1}})
+	err = inj.WriteError()
+	if !errors.Is(err, ErrPermanent) || IsTransient(err) {
+		t.Fatalf("want permanent, got %v", err)
+	}
+}
+
+func TestTornFractionRange(t *testing.T) {
+	inj := New(Config{Seed: 3, Rates: Rates{JournalTorn: 1}})
+	for i := 0; i < 1000; i++ {
+		frac, torn := inj.TornFraction()
+		if !torn {
+			t.Fatal("rate-1 torn roll did not fire")
+		}
+		if frac < 0 || frac >= 1 {
+			t.Fatalf("torn fraction %g outside [0,1)", frac)
+		}
+	}
+}
+
+func TestLatencySpikeMagnitude(t *testing.T) {
+	inj := New(Config{Seed: 4, Rates: Rates{SSDLatencySpike: 1}, SpikeLatency: time.Millisecond})
+	for i := 0; i < 100; i++ {
+		d := inj.Latency()
+		if d < time.Millisecond || d > 4*time.Millisecond {
+			t.Fatalf("spike %v outside 1-4ms", d)
+		}
+	}
+}
+
+func TestBackoffIsBoundedAndMonotone(t *testing.T) {
+	prev := time.Duration(0)
+	for i := 0; i <= MaxRetries; i++ {
+		b := Backoff(i)
+		if b <= prev {
+			t.Fatalf("backoff not increasing at attempt %d", i)
+		}
+		prev = b
+	}
+	if Backoff(-5) != Backoff(0) {
+		t.Fatal("negative attempt should clamp")
+	}
+	if Backoff(1000) <= 0 {
+		t.Fatal("huge attempt must not overflow to non-positive")
+	}
+}
+
+func TestUniformLeavesPermanentOff(t *testing.T) {
+	r := Uniform(0.5)
+	if r.SSDWritePermanent != 0 {
+		t.Fatal("Uniform must not enable permanent write errors")
+	}
+	if !(Config{Rates: r}).Enabled() {
+		t.Fatal("Uniform(0.5) should enable injection")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"inlinered/internal/fault"
 	"inlinered/internal/sim"
 )
 
@@ -199,6 +200,8 @@ type Device struct {
 	memUsed  int64
 	kernels  int64
 	profiles Profiles
+	faults   *fault.Injector
+	lost     bool
 }
 
 // Profiles accumulates device-wide kernel statistics.
@@ -247,11 +250,35 @@ func (d *Device) ComputeTime(p Profile) time.Duration {
 	return sim.Cycles(cycles, d.ClockHz)
 }
 
+// SetFaultInjector threads a deterministic fault injector through kernel
+// launches: a roll of the device-lost stream kills the device mid-dispatch,
+// and every launch after that fails immediately. A nil injector disables
+// injection.
+func (d *Device) SetFaultInjector(fi *fault.Injector) { d.faults = fi }
+
+// Lost reports whether an injected device loss has killed the GPU. Once
+// lost, the device stays lost; results of kernels that completed before the
+// loss remain valid (they were already copied back or retired).
+func (d *Device) Lost() bool { return d.lost }
+
 // Launch runs kernel k, enqueued at virtual time at, and returns the kernel
 // completion time together with the kernel's profile. The launch pays the
 // fixed dispatch overhead and then the profile's compute time; kernels on
 // the queue serialize.
-func (d *Device) Launch(at time.Duration, k Kernel) (end time.Duration, p Profile) {
+//
+// A launch on a lost device fails with fault.ErrDeviceLost without running
+// the kernel. An injected device loss fires during dispatch: the launch
+// overhead is charged (the host only learns of the loss from the failed
+// dispatch), the kernel does not run, and the device is dead from then on.
+func (d *Device) Launch(at time.Duration, k Kernel) (end time.Duration, p Profile, err error) {
+	if d.lost {
+		return at, Profile{}, fmt.Errorf("gpu: launch %s: %w", k.Name(), fault.ErrDeviceLost)
+	}
+	if d.faults.DeviceLost() {
+		d.lost = true
+		_, end = d.queue.Acquire(at, d.LaunchOverhead)
+		return end, Profile{}, fmt.Errorf("gpu: launch %s: %w", k.Name(), fault.ErrDeviceLost)
+	}
 	p = k.Run()
 	dur := d.LaunchOverhead + d.ComputeTime(p)
 	_, end = d.queue.Acquire(at, dur)
@@ -260,7 +287,7 @@ func (d *Device) Launch(at time.Duration, k Kernel) (end time.Duration, p Profil
 	d.profiles.Waves += int64(p.Waves)
 	d.profiles.SumWaveCycles += p.SumWaveCycles
 	d.profiles.LaneCycles += p.LaneCycles
-	return end, p
+	return end, p, nil
 }
 
 // TransferToDevice charges an n-byte host-to-device DMA arriving at virtual

@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"inlinered/internal/fault"
 )
 
 func testConfig() Config {
@@ -64,7 +66,7 @@ func TestLaunchChargesOverheadAndCompute(t *testing.T) {
 	k := KernelFunc{Label: "k", Fn: func() Profile {
 		return Profile{Items: 8, Waves: 2, SumWaveCycles: 2000, LaneCycles: 8000}
 	}}
-	end, _ := d.Launch(0, k)
+	end, _, _ := d.Launch(0, k)
 	want := 10*time.Microsecond + time.Microsecond
 	if end != want {
 		t.Fatalf("launch end: got %v, want %v", end, want)
@@ -77,8 +79,8 @@ func TestLaunchChargesOverheadAndCompute(t *testing.T) {
 func TestLaunchSerializesOnQueue(t *testing.T) {
 	d := New(testConfig())
 	k := KernelFunc{Label: "k", Fn: func() Profile { return Profile{} }}
-	end1, _ := d.Launch(0, k)
-	end2, _ := d.Launch(0, k)
+	end1, _, _ := d.Launch(0, k)
+	end2, _, _ := d.Launch(0, k)
 	if end2 != end1+d.LaunchOverhead {
 		t.Fatalf("second kernel should queue: end1=%v end2=%v", end1, end2)
 	}
@@ -94,7 +96,7 @@ func TestLaunchOverheadFloor(t *testing.T) {
 	k := KernelFunc{Label: "tiny", Fn: func() Profile {
 		return Wavefronts([]float64{1}, d.WavefrontSize)
 	}}
-	end, _ := d.Launch(0, k)
+	end, _, _ := d.Launch(0, k)
 	if end < d.LaunchOverhead {
 		t.Fatalf("kernel finished before launch overhead: %v < %v", end, d.LaunchOverhead)
 	}
@@ -226,7 +228,7 @@ func TestDeviceAccessors(t *testing.T) {
 	if k.Name() != "acc" {
 		t.Fatal("kernel name")
 	}
-	end, _ := d.Launch(0, k)
+	end, _, _ := d.Launch(0, k)
 	if d.NextFree() != end {
 		t.Fatalf("NextFree: %v vs %v", d.NextFree(), end)
 	}
@@ -247,5 +249,71 @@ func TestDeviceAccessors(t *testing.T) {
 	b, _ := d.Alloc("named", 8)
 	if b.Name() != "named" {
 		t.Fatal("buffer name")
+	}
+}
+
+// --- fault injection ---
+
+func TestDeviceLostKillsLaunches(t *testing.T) {
+	d := New(testConfig())
+	d.SetFaultInjector(fault.New(fault.Config{
+		Seed:  1,
+		Rates: fault.Rates{GPUDeviceLost: 1},
+	}))
+	ran := false
+	k := KernelFunc{Label: "victim", Fn: func() Profile { ran = true; return Profile{} }}
+
+	end, _, err := d.Launch(0, k)
+	if err == nil || !errors.Is(err, fault.ErrDeviceLost) {
+		t.Fatalf("want ErrDeviceLost, got %v", err)
+	}
+	if ran {
+		t.Fatal("kernel must not run on a lost device")
+	}
+	if !d.Lost() {
+		t.Fatal("device must report itself lost")
+	}
+	// The failed dispatch still charged its launch overhead.
+	if end != d.LaunchOverhead {
+		t.Fatalf("failed dispatch end = %v, want %v", end, d.LaunchOverhead)
+	}
+	if d.Kernels() != 0 {
+		t.Fatalf("no kernel completed, counter says %d", d.Kernels())
+	}
+
+	// Every later launch fails fast, without further timeline charges.
+	end2, _, err := d.Launch(end, k)
+	if err == nil || !errors.Is(err, fault.ErrDeviceLost) {
+		t.Fatalf("launch after loss: want ErrDeviceLost, got %v", err)
+	}
+	if end2 != end {
+		t.Fatalf("launch on a dead device must not advance time: %v -> %v", end, end2)
+	}
+}
+
+func TestDeviceLossIsDeterministic(t *testing.T) {
+	run := func() int {
+		d := New(testConfig())
+		d.SetFaultInjector(fault.New(fault.Config{
+			Seed:  99,
+			Rates: fault.Rates{GPUDeviceLost: 0.05},
+		}))
+		k := KernelFunc{Label: "k", Fn: func() Profile { return Profile{Items: 1} }}
+		var at time.Duration
+		for i := 0; i < 400; i++ {
+			end, _, err := d.Launch(at, k)
+			if err != nil {
+				return i
+			}
+			at = end
+		}
+		return -1
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("loss point diverged for same seed: %d vs %d", a, b)
+	}
+	if a < 0 {
+		t.Fatal("rate 0.05 over 400 launches should have fired")
 	}
 }

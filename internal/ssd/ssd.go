@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"time"
 
+	"inlinered/internal/fault"
 	"inlinered/internal/sim"
 )
 
@@ -68,6 +69,11 @@ type Stats struct {
 	Erases         int64 // blocks erased
 	GCRuns         int64 // garbage collection invocations
 	TrimmedPages   int64 // pages invalidated via Trim
+
+	// Injected-fault accounting (zero unless a fault injector is set).
+	WriteFaults   int64 // host writes rejected by an injected error
+	ReadFaults    int64 // host reads rejected by an injected error
+	LatencySpikes int64 // host requests delayed by an injected spike
 }
 
 // WriteAmplification reports NAND programs per host program, or 0 before
@@ -106,10 +112,11 @@ type channel struct {
 // Drive is a simulated SSD. It is not safe for concurrent use.
 type Drive struct {
 	Config
-	chans []*channel
-	next  int           // round-robin write channel
-	l2p   map[int64]ppn // logical page -> physical page
-	stats Stats
+	chans  []*channel
+	next   int           // round-robin write channel
+	l2p    map[int64]ppn // logical page -> physical page
+	stats  Stats
+	faults *fault.Injector
 }
 
 // New returns a Drive for cfg. It panics on nonsensical configurations.
@@ -142,6 +149,14 @@ func New(cfg Config) *Drive {
 	}
 	return d
 }
+
+// SetFaultInjector threads a deterministic fault injector through the
+// drive's host-facing requests: writes may fail with transient or
+// permanent errors, reads may fail transiently, and either may be
+// delayed by a latency spike on the virtual clock. Internal FTL traffic
+// (GC migration) is not subject to injection — the request-level fault
+// is the unit callers retry. A nil injector disables injection.
+func (d *Drive) SetFaultInjector(fi *fault.Injector) { d.faults = fi }
 
 // PhysicalPages returns the drive's raw page count.
 func (d *Drive) PhysicalPages() int64 {
@@ -181,6 +196,16 @@ func (d *Drive) Write(at time.Duration, lpn int64, n int) (time.Duration, error)
 	if lpn < 0 || lpn+int64(n) > d.LogicalPages() {
 		return at, fmt.Errorf("ssd: write [%d,%d) outside logical space of %d pages", lpn, lpn+int64(n), d.LogicalPages())
 	}
+	// Fault injection is per host request: a failed request programs
+	// nothing (the controller rejected it), so a retry re-issues it whole.
+	if err := d.faults.WriteError(); err != nil {
+		d.stats.WriteFaults++
+		return at, fmt.Errorf("ssd: write [%d,%d): %w", lpn, lpn+int64(n), err)
+	}
+	if spike := d.faults.Latency(); spike > 0 {
+		d.stats.LatencySpikes++
+		at += spike
+	}
 	end := at
 	for i := 0; i < n; i++ {
 		e, err := d.writePage(at, lpn+int64(i))
@@ -198,8 +223,17 @@ func (d *Drive) WriteBytes(at time.Duration, lpn int64, n int) (time.Duration, e
 }
 
 // Read fetches n consecutive logical pages starting at lpn. Unmapped pages
-// cost a read anyway (the host interface returns zeros).
-func (d *Drive) Read(at time.Duration, lpn int64, n int) time.Duration {
+// cost a read anyway (the host interface returns zeros). Injected read
+// faults fail the whole request before any page is fetched.
+func (d *Drive) Read(at time.Duration, lpn int64, n int) (time.Duration, error) {
+	if err := d.faults.ReadError(); err != nil {
+		d.stats.ReadFaults++
+		return at, fmt.Errorf("ssd: read [%d,%d): %w", lpn, lpn+int64(n), err)
+	}
+	if spike := d.faults.Latency(); spike > 0 {
+		d.stats.LatencySpikes++
+		at += spike
+	}
 	end := at
 	for i := 0; i < n; i++ {
 		ch := d.chans[d.chanFor(lpn+int64(i))]
@@ -208,7 +242,7 @@ func (d *Drive) Read(at time.Duration, lpn int64, n int) time.Duration {
 		d.stats.HostReadPages++
 		end = sim.MaxTime(end, e)
 	}
-	return end
+	return end, nil
 }
 
 // Trim invalidates n logical pages starting at lpn (no NAND time; FTL

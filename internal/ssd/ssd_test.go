@@ -1,9 +1,12 @@
 package ssd
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"time"
+
+	"inlinered/internal/fault"
 )
 
 func smallConfig() Config {
@@ -111,7 +114,10 @@ func TestTrim(t *testing.T) {
 func TestReadChargesChannels(t *testing.T) {
 	d := New(smallConfig())
 	d.Write(0, 0, 1)
-	end := d.Read(time.Second, 0, 1)
+	end, err := d.Read(time.Second, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if end != time.Second+d.ReadLatency {
 		t.Fatalf("read end: got %v", end)
 	}
@@ -266,5 +272,117 @@ func TestMappingInvariant(t *testing.T) {
 	}
 	if valid != len(d.l2p) {
 		t.Fatalf("valid pages (%d) != mappings (%d)", valid, len(d.l2p))
+	}
+}
+
+// --- fault injection ---
+
+func TestInjectedWriteFaults(t *testing.T) {
+	d := New(smallConfig())
+	d.SetFaultInjector(fault.New(fault.Config{
+		Seed:  1,
+		Rates: fault.Rates{SSDWriteTransient: 1},
+	}))
+	_, err := d.Write(0, 0, 1)
+	if err == nil || !fault.IsTransient(err) {
+		t.Fatalf("want transient write fault, got %v", err)
+	}
+	st := d.Stats()
+	if st.WriteFaults != 1 {
+		t.Fatalf("WriteFaults = %d, want 1", st.WriteFaults)
+	}
+	if st.HostWritePages != 0 || st.NANDWritePages != 0 {
+		t.Fatalf("failed write must program nothing: %+v", st)
+	}
+}
+
+func TestInjectedPermanentWriteFault(t *testing.T) {
+	d := New(smallConfig())
+	d.SetFaultInjector(fault.New(fault.Config{
+		Seed:  1,
+		Rates: fault.Rates{SSDWritePermanent: 1},
+	}))
+	_, err := d.Write(0, 0, 1)
+	if err == nil || !errors.Is(err, fault.ErrPermanent) {
+		t.Fatalf("want permanent write fault, got %v", err)
+	}
+	if fault.IsTransient(err) {
+		t.Fatal("permanent fault must not classify as transient")
+	}
+}
+
+func TestInjectedReadFaults(t *testing.T) {
+	d := New(smallConfig())
+	if _, err := d.Write(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	d.SetFaultInjector(fault.New(fault.Config{
+		Seed:  2,
+		Rates: fault.Rates{SSDReadTransient: 1},
+	}))
+	before := d.Stats().HostReadPages
+	_, err := d.Read(0, 0, 1)
+	if err == nil || !fault.IsTransient(err) {
+		t.Fatalf("want transient read fault, got %v", err)
+	}
+	st := d.Stats()
+	if st.ReadFaults != 1 {
+		t.Fatalf("ReadFaults = %d, want 1", st.ReadFaults)
+	}
+	if st.HostReadPages != before {
+		t.Fatal("failed read must fetch nothing")
+	}
+}
+
+func TestInjectedLatencySpike(t *testing.T) {
+	d := New(smallConfig())
+	d.SetFaultInjector(fault.New(fault.Config{
+		Seed:         3,
+		Rates:        fault.Rates{SSDLatencySpike: 1},
+		SpikeLatency: time.Millisecond,
+	}))
+	end, err := d.Write(0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end < time.Millisecond+d.ProgramLatency {
+		t.Fatalf("spiked write finished too early: %v", end)
+	}
+	if end > 4*time.Millisecond+d.ProgramLatency {
+		t.Fatalf("spike exceeds 4x base: %v", end)
+	}
+	if d.Stats().LatencySpikes != 1 {
+		t.Fatalf("LatencySpikes = %d, want 1", d.Stats().LatencySpikes)
+	}
+}
+
+// Two drives with the same seed and request sequence make identical fault
+// decisions and land on identical completion times and stats.
+func TestFaultDeterminism(t *testing.T) {
+	run := func() (Stats, time.Duration, int) {
+		d := New(smallConfig())
+		d.SetFaultInjector(fault.New(fault.Config{
+			Seed:  42,
+			Rates: fault.Uniform(0.2),
+		}))
+		var at time.Duration
+		failures := 0
+		for i := int64(0); i < 200; i++ {
+			end, err := d.Write(at, i%d.LogicalPages(), 1)
+			if err != nil {
+				failures++
+				continue
+			}
+			at = end
+		}
+		return d.Stats(), at, failures
+	}
+	s1, t1, f1 := run()
+	s2, t2, f2 := run()
+	if s1 != s2 || t1 != t2 || f1 != f2 {
+		t.Fatalf("same seed diverged:\n%+v %v %d\n%+v %v %d", s1, t1, f1, s2, t2, f2)
+	}
+	if s1.WriteFaults == 0 || s1.LatencySpikes == 0 {
+		t.Fatalf("expected injected activity at rate 0.2: %+v", s1)
 	}
 }

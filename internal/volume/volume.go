@@ -20,10 +20,12 @@ package volume
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"inlinered/internal/cpusim"
 	"inlinered/internal/dedup"
+	"inlinered/internal/fault"
 	"inlinered/internal/lz"
 	"inlinered/internal/ssd"
 )
@@ -46,6 +48,10 @@ type Config struct {
 	// CacheBytes bounds the content-addressed DRAM read cache (0 disables
 	// it). Cached blocks serve reads without SSD pages or decompression.
 	CacheBytes int64
+	// Faults schedules deterministic fault injection across the drive, the
+	// index journal, and the index. The zero value injects nothing and
+	// leaves the volume bit-identical to a build without injection.
+	Faults fault.Config
 }
 
 // DefaultConfig returns a small-testbed volume: 4 KB blocks on the paper's
@@ -113,6 +119,21 @@ type Stats struct {
 	GarbageBytes         int64 // dead bytes awaiting cleaning
 	CleanRuns            int64
 	MovedBytes           int64 // live bytes rewritten by the cleaner
+
+	// Index journal accounting (the durable form of bin-buffer flushes,
+	// destaged sequentially to the journal region).
+	JournalRecords int64
+	JournalBytes   int64
+
+	// Fault-injection accounting. All zero when Config.Faults is the zero
+	// value, keeping rate-0 stats bit-identical to a build without
+	// injection.
+	SSDWriteRetries      int64 // transient write errors cleared by retry
+	SSDReadRetries       int64 // transient read errors cleared by retry
+	LatencySpikes        int64 // injected latency spikes absorbed
+	JournalTornRecords   int64 // flush records torn mid-write
+	JournalWriteFailures int64 // permanent journal-write failures (journaling degraded off)
+	IndexEvictions       int64 // entries evicted by injected memory pressure
 }
 
 // ReductionRatio reports logical bytes per stored byte.
@@ -140,6 +161,18 @@ type Volume struct {
 	cur      logCursor
 	maxSegs  int
 
+	// The index journal mirrors internal/core: bin-buffer flushes destage
+	// as sequential writes into a region carved from the top of the drive's
+	// logical space, and the serialized image is what a post-crash restart
+	// replays.
+	journal      *dedup.JournalWriter
+	journalBase  int64 // first page of the journal region
+	journalCur   int64
+	journalLimit int64
+	journalDead  bool // a permanent journal-write failure degraded journaling off
+
+	faults *fault.Injector // nil when injection is off
+
 	cache *blockCache
 
 	now   time.Duration // closed-loop clock: completion of the last request
@@ -164,13 +197,29 @@ func New(cfg Config) (*Volume, error) {
 		return nil, err
 	}
 	v.index = idx
-	logBytes := v.drive.LogicalPages() * int64(v.drive.PageSize)
+	// Carve the journal region out of the top of the logical space; the
+	// log segments pack into what remains.
+	logical := v.drive.LogicalPages()
+	reserve := logical / 16
+	if reserve < 1 {
+		reserve = 1
+	}
+	v.journalBase = logical - reserve
+	v.journalCur = v.journalBase
+	v.journalLimit = logical
+	v.journal = dedup.NewJournalWriter(cfg.Index.PrefixBytes)
+	logBytes := v.journalBase * int64(v.drive.PageSize)
 	v.maxSegs = int(logBytes / int64(cfg.SegmentBytes))
 	if v.maxSegs < 2 {
 		return nil, fmt.Errorf("volume: drive too small for two %d-byte segments", cfg.SegmentBytes)
 	}
 	v.segments = append(v.segments, segment{})
 	v.cache = newBlockCache(cfg.CacheBytes)
+	if cfg.Faults.Enabled() {
+		v.faults = fault.New(cfg.Faults)
+		v.drive.SetFaultInjector(v.faults)
+		v.index.SetFaultInjector(v.faults)
+	}
 	return v, nil
 }
 
@@ -179,10 +228,115 @@ func New(cfg Config) (*Volume, error) {
 func (v *Volume) Now() time.Duration { return v.now }
 
 // Stats returns space and activity accounting.
-func (v *Volume) Stats() Stats { return v.stats }
+func (v *Volume) Stats() Stats {
+	st := v.stats
+	st.JournalRecords = int64(v.journal.Records())
+	st.JournalTornRecords = int64(v.journal.TornRecords())
+	st.LatencySpikes = v.drive.Stats().LatencySpikes
+	st.IndexEvictions = v.index.FaultEvicted()
+	return st
+}
 
 // Drive exposes the underlying SSD for endurance inspection.
 func (v *Volume) Drive() *ssd.Drive { return v.drive }
+
+// JournalImage returns the serialized index journal — the durable form of
+// every bin-buffer flush the volume destaged to the journal region.
+func (v *Volume) JournalImage() []byte { return v.journal.Bytes() }
+
+// RecoverIndex rebuilds an index from the volume's journal — what a restart
+// after a crash would reconstruct. Recovery is lenient: a trailing torn or
+// corrupt record truncates the journal there, and everything before the
+// truncation point is applied as a consistent prefix of the flush history.
+// Entries still in bin buffers at the crash point (never journaled) are
+// absent; their future duplicates would be stored again.
+func (v *Volume) RecoverIndex() (*dedup.BinIndex, dedup.Recovery, error) {
+	return dedup.RecoverJournal(v.journal.Bytes(), v.cfg.Index)
+}
+
+// RecoverIndexStrict replays the journal refusing any corruption: a torn or
+// bit-flipped record fails the whole replay with dedup.ErrJournalCorrupt.
+func (v *Volume) RecoverIndexStrict() (*dedup.BinIndex, error) {
+	return dedup.ReplayJournal(v.journal.Bytes(), v.cfg.Index)
+}
+
+// writeDrive is drive.Write with the shared bounded-retry policy: transient
+// injected errors are retried up to fault.MaxRetries times, each retry
+// charged exponential backoff on the virtual clock. Permanent errors (and
+// exhausted retries) surface to the caller.
+func (v *Volume) writeDrive(at time.Duration, lpn int64, pages int) (time.Duration, error) {
+	for attempt := 0; ; attempt++ {
+		end, err := v.drive.Write(at, lpn, pages)
+		if err == nil {
+			return end, nil
+		}
+		if !fault.IsTransient(err) || attempt >= fault.MaxRetries {
+			return end, err
+		}
+		v.stats.SSDWriteRetries++
+		at += fault.Backoff(attempt)
+	}
+}
+
+// readDrive is drive.Read with the same bounded-retry policy.
+func (v *Volume) readDrive(at time.Duration, lpn int64, pages int) (time.Duration, error) {
+	for attempt := 0; ; attempt++ {
+		end, err := v.drive.Read(at, lpn, pages)
+		if err == nil {
+			return end, nil
+		}
+		if !fault.IsTransient(err) || attempt >= fault.MaxRetries {
+			return end, err
+		}
+		v.stats.SSDReadRetries++
+		at += fault.Backoff(attempt)
+	}
+}
+
+// journalFlush destages one bin-buffer flush to the sequential journal
+// region and appends it to the durable image. Crash semantics under
+// injection: a torn record persists only its prefix (recovery truncates
+// there), and a permanent write failure degrades journaling off for the
+// rest of the run — the volume keeps serving I/O from the in-memory index,
+// it just loses crash recoverability, and the failure is counted. Returns
+// the completion time of the journal write.
+func (v *Volume) journalFlush(at time.Duration, f *dedup.Flush) time.Duration {
+	if v.journalDead {
+		return at
+	}
+	if frac, torn := v.faults.TornFraction(); torn {
+		v.journal.AppendTorn(f, frac)
+		end, _ := v.writeJournal(at, f.Bytes) // the partial write still happened
+		return end
+	}
+	end, err := v.writeJournal(at, f.Bytes)
+	if err != nil {
+		v.journalDead = true
+		v.stats.JournalWriteFailures++
+		return at
+	}
+	v.journal.Append(f)
+	return end
+}
+
+// writeJournal appends one flush record to the sequential journal region,
+// wrapping at the region end.
+func (v *Volume) writeJournal(at time.Duration, bytes int) (time.Duration, error) {
+	pages := int64(v.drive.Pages(bytes))
+	if pages == 0 {
+		pages = 1
+	}
+	if v.journalCur+pages > v.journalLimit {
+		v.journalCur = v.journalBase
+	}
+	end, err := v.writeDrive(at, v.journalCur, int(pages))
+	if err != nil {
+		return at, err
+	}
+	v.journalCur += pages
+	v.stats.JournalBytes += int64(bytes)
+	return end, nil
+}
 
 func (v *Volume) segOf(loc int64) int { return int(loc / int64(v.cfg.SegmentBytes)) }
 
@@ -218,7 +372,7 @@ func (v *Volume) Write(lba int64, data []byte) (time.Duration, error) {
 		ref.refs++
 		v.stats.DedupHits++
 	} else {
-		// Unique: compress, append to the log, index it.
+		// Unique: compress, append to the log, then index it.
 		var blob []byte
 		var cycles float64
 		if v.cfg.Compress {
@@ -233,15 +387,21 @@ func (v *Volume) Write(lba int64, data []byte) (time.Duration, error) {
 		if err != nil {
 			return 0, err
 		}
-		ir := v.index.Insert(fp, dedup.Entry{Loc: loc, Size: uint32(len(blob))})
-		cycles += cost.InsertCycles + float64(ir.BufferScanned)*cost.BufferEntryCycles
-		if ir.Flush != nil {
-			cycles += float64(ir.Flush.TreeSteps) * cost.TreeStepCycles
-		}
 		_, t = v.cpu.Run(t, cycles+cost.StageOverheadCycles)
+		// Crash-consistent ordering: the data lands in the log before any
+		// index or journal record can point at it.
 		t, err = v.appendBlob(t, fp, loc, blob)
 		if err != nil {
 			return 0, err
+		}
+		ir := v.index.Insert(fp, dedup.Entry{Loc: loc, Size: uint32(len(blob))})
+		icycles := cost.InsertCycles + float64(ir.BufferScanned)*cost.BufferEntryCycles
+		if ir.Flush != nil {
+			icycles += float64(ir.Flush.TreeSteps) * cost.TreeStepCycles
+		}
+		_, t = v.cpu.Run(t, icycles)
+		if ir.Flush != nil {
+			t = v.journalFlush(t, ir.Flush)
 		}
 	}
 
@@ -307,12 +467,13 @@ func (v *Volume) appendBlob(at time.Duration, fp dedup.Fingerprint, loc int64, b
 	return end, nil
 }
 
-// writeLog charges the SSD pages covering [loc, loc+n).
+// writeLog charges the SSD pages covering [loc, loc+n), absorbing
+// transient faults through the bounded-retry policy.
 func (v *Volume) writeLog(at time.Duration, loc int64, n int) (time.Duration, error) {
 	pageSize := int64(v.drive.PageSize)
 	first := loc / pageSize
 	last := (loc + int64(n) - 1) / pageSize
-	return v.drive.Write(at, first, int(last-first+1))
+	return v.writeDrive(at, first, int(last-first+1))
 }
 
 // deref drops one reference to fp, reclaiming the chunk at zero.
@@ -366,7 +527,10 @@ func (v *Volume) Read(lba int64) ([]byte, time.Duration, error) {
 	pageSize := int64(v.drive.PageSize)
 	first := ref.loc / pageSize
 	last := (ref.loc + int64(ref.size) - 1) / pageSize
-	t := v.drive.Read(v.now, first, int(last-first+1))
+	t, err := v.readDrive(v.now, first, int(last-first+1))
+	if err != nil {
+		return nil, 0, fmt.Errorf("volume: lba %d: %w", lba, err)
+	}
 	out, err := lz.Decompress(nil, blob)
 	if err != nil {
 		return nil, 0, fmt.Errorf("volume: lba %d: %w", lba, err)
@@ -425,13 +589,16 @@ func (v *Volume) cleanSegment(i int) error {
 	segEnd := segStart + int64(v.cfg.SegmentBytes)
 	v.stats.CleanRuns++
 
-	// Collect live chunks resident in this segment.
+	// Collect live chunks resident in this segment, in log order (map
+	// iteration order must not leak into the move schedule — the fault
+	// injector and the virtual clock both depend on it).
 	var live []*chunkRef
 	for _, ref := range v.chunks {
 		if ref.loc >= segStart && ref.loc < segEnd {
 			live = append(live, ref)
 		}
 	}
+	sort.Slice(live, func(a, b int) bool { return live[a].loc < live[b].loc })
 	t := v.now
 	pageSize := int64(v.drive.PageSize)
 	for _, ref := range live {
@@ -439,12 +606,16 @@ func (v *Volume) cleanSegment(i int) error {
 		// Read the blob's pages, re-append at the log head.
 		first := ref.loc / pageSize
 		last := (ref.loc + int64(ref.size) - 1) / pageSize
-		t = v.drive.Read(t, first, int(last-first+1))
+		end, err := v.readDrive(t, first, int(last-first+1))
+		if err != nil {
+			return fmt.Errorf("volume: during cleaning: %w", err)
+		}
+		t = end
 		newLoc, err := v.alloc(len(blob))
 		if err != nil {
 			return fmt.Errorf("volume: during cleaning: %w", err)
 		}
-		end, err := v.writeLog(t, newLoc, len(blob))
+		end, err = v.writeLog(t, newLoc, len(blob))
 		if err != nil {
 			return err
 		}
@@ -452,8 +623,12 @@ func (v *Volume) cleanSegment(i int) error {
 		delete(v.blobs, ref.loc)
 		v.blobs[newLoc] = blob
 		ref.loc = newLoc
-		// Keep the index pointing at the moved blob.
-		v.index.Insert(ref.fp, dedup.Entry{Loc: newLoc, Size: uint32(ref.size)})
+		// Keep the index pointing at the moved blob; a flush it triggers is
+		// journaled like any other (the moved location must win over the
+		// stale one in any post-crash replay).
+		if ir := v.index.Insert(ref.fp, dedup.Entry{Loc: newLoc, Size: uint32(ref.size)}); ir.Flush != nil {
+			t = v.journalFlush(t, ir.Flush)
+		}
 		ns := v.segAt(v.segOf(newLoc))
 		ns.live += int64(ref.size)
 		ns.used += int64(ref.size)
