@@ -5,6 +5,7 @@ import (
 
 	"inlinered/internal/fault"
 	"inlinered/internal/lz"
+	"inlinered/internal/sim"
 	"inlinered/internal/volume"
 )
 
@@ -29,6 +30,11 @@ type BlockDeviceOptions struct {
 	// 0 disables injection; a fixed seed makes runs bit-identical.
 	FaultRate float64
 	FaultSeed int64
+	// Recorder attaches an observability recorder (NewRecorder): every
+	// request, CPU job, and NAND operation records a virtual-time span, and
+	// the trace exports as Chrome trace-event JSON via Recorder.WriteTrace.
+	// One recorder should serve one device. Nil means off.
+	Recorder *Recorder
 }
 
 // BlockDevice is an LBA-addressed deduplicating, compressing volume on the
@@ -40,8 +46,13 @@ type BlockDevice struct {
 	inner *volume.Volume
 }
 
-// DeviceStats reports the device's space and activity accounting.
+// DeviceStats reports the device's space and activity accounting, including
+// always-on per-operation latency summaries (WriteLat, ReadLat, TrimLat).
 type DeviceStats = volume.Stats
+
+// LatencySummary condenses a latency histogram: count, min/mean/max, and
+// log-bucketed p50/p95/p99 (quantiles report a bucket's upper bound).
+type LatencySummary = sim.LatencySummary
 
 // NewBlockDevice builds a block device on the paper platform's CPU and SSD.
 func NewBlockDevice(opts BlockDeviceOptions) (*BlockDevice, error) {
@@ -64,6 +75,7 @@ func NewBlockDevice(opts BlockDeviceOptions) (*BlockDevice, error) {
 	if opts.FaultRate > 0 {
 		cfg.Faults = fault.Config{Seed: opts.FaultSeed, Rates: fault.Uniform(opts.FaultRate)}
 	}
+	cfg.Obs = opts.Recorder
 	inner, err := volume.New(cfg)
 	if err != nil {
 		return nil, err
@@ -81,8 +93,9 @@ func (d *BlockDevice) Read(lba int64) ([]byte, time.Duration, error) {
 	return d.inner.Read(lba)
 }
 
-// Trim unmaps a block, releasing its chunk reference.
-func (d *BlockDevice) Trim(lba int64) error { return d.inner.Trim(lba) }
+// Trim unmaps a block, releasing its chunk reference, and returns the
+// request's virtual latency.
+func (d *BlockDevice) Trim(lba int64) (time.Duration, error) { return d.inner.Trim(lba) }
 
 // Clean compacts garbage-heavy log segments and returns how many were
 // reclaimed.

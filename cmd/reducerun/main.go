@@ -7,10 +7,17 @@
 //	reducerun [-mode cpu-only|gpu-dedup|gpu-compress|gpu-both|auto]
 //	          [-in FILE | -mb N -dedup R -comp R] [-chunk N]
 //	          [-no-dedup] [-no-compress] [-destage] [-seed N]
-//	          [-faults SEED:RATE]
+//	          [-faults SEED:RATE] [-json] [-trace-out FILE]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -mode auto, the dummy-I/O calibration pass of §4(3) picks the
 // fastest integration option for the platform first.
+//
+// -json prints the report as stable JSON on stdout (everything else moves
+// to stderr); -trace-out writes a Chrome trace-event file of the run's
+// virtual-time spans, viewable in Perfetto or chrome://tracing. The trace
+// and report are bit-identical for any -par value at a fixed seed.
+// -cpuprofile/-memprofile capture host pprof profiles of the run itself.
 package main
 
 import (
@@ -18,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -41,11 +50,34 @@ func main() {
 	cdc := flag.Bool("cdc", false, "content-defined (Gear) chunking instead of fixed-size")
 	par := flag.Int("par", 0, "host worker threads for the real computation (0 = all cores, 1 = serial; results are identical)")
 	faults := flag.String("faults", "", "deterministic fault injection as SEED:RATE (e.g. 7:0.01); empty disables")
+	jsonOut := flag.Bool("json", false, "print the report as JSON on stdout (status goes to stderr)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file of the run's virtual-time spans")
+	cpuProfile := flag.String("cpuprofile", "", "write a host CPU pprof profile to this file")
+	memProfile := flag.String("memprofile", "", "write a host heap pprof profile to this file")
 	flag.Parse()
+
+	// Human-readable chatter goes to stdout normally, but must not corrupt
+	// the machine-readable stream under -json.
+	info := os.Stdout
+	if *jsonOut {
+		info = os.Stderr
+	}
 
 	faultSeed, faultRate, err := parseFaults(*faults)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	plat := inlinered.PaperPlatform()
@@ -65,33 +97,32 @@ func main() {
 		FaultRate:          faultRate,
 	}
 	if faultRate > 0 {
-		fmt.Printf("fault injection: seed %d, rate %g per opportunity\n\n", faultSeed, faultRate)
+		fmt.Fprintf(info, "fault injection: seed %d, rate %g per opportunity\n\n", faultSeed, faultRate)
 	}
 
-	switch *mode {
-	case "cpu-only":
-		opts.Mode = inlinered.CPUOnly
-	case "gpu-dedup":
-		opts.Mode = inlinered.GPUDedup
-	case "gpu-compress":
-		opts.Mode = inlinered.GPUCompress
-	case "gpu-both":
-		opts.Mode = inlinered.GPUBoth
-	case "auto":
+	if *mode == "auto" {
 		res, err := inlinered.Calibrate(plat, opts, 0)
 		if err != nil {
 			fatal(err)
 		}
 		opts.Mode = res.Best
-		fmt.Printf("calibration picked %s:\n", res.Best)
+		fmt.Fprintf(info, "calibration picked %s:\n", res.Best)
 		for _, m := range inlinered.Modes {
 			if r, ok := res.Reports[m]; ok {
-				fmt.Printf("  %-12s %10.0f IOPS\n", m, r.IOPS)
+				fmt.Fprintf(info, "  %-12s %10.0f IOPS\n", m, r.IOPS)
 			}
 		}
-		fmt.Println()
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		fmt.Fprintln(info)
+	} else {
+		m, err := inlinered.ParseMode(*mode)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Mode = m
+	}
+
+	if *traceOut != "" {
+		opts.Recorder = inlinered.NewRecorder()
 	}
 
 	var src io.Reader
@@ -114,14 +145,53 @@ func main() {
 			fatal(err)
 		}
 		src = stream
-		fmt.Printf("generated stream: %d MiB, dedup %.1f, compression %.1f, seed %d\n\n", *mb, *dd, *cr, *seed)
+		fmt.Fprintf(info, "generated stream: %d MiB, dedup %.1f, compression %.1f, seed %d\n\n", *mb, *dd, *cr, *seed)
 	}
 
 	rep, err := inlinered.Run(plat, opts, src)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println(rep)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := opts.Recorder.WriteTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(info, "wrote %d trace events to %s\n", opts.Recorder.Events(), *traceOut)
+	}
+
+	if *jsonOut {
+		out, err := rep.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(out)
+	} else {
+		fmt.Println(rep)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 // parseFaults parses the -faults knob: "SEED:RATE" with RATE in [0,1].

@@ -8,13 +8,21 @@
 //	tracerun -in trace.txt                        # replay a trace file
 //	tracerun -ops 20000 -blocks 4096 -hotspot .8  # synthesize and replay
 //	tracerun -ops 10000 -emit trace.txt           # synthesize, save, replay
+//	tracerun -json -trace-out spans.json          # machine-readable outputs
+//
+// -json prints the replay report as stable JSON on stdout; -trace-out
+// writes a Chrome trace-event file of the volume's virtual-time spans.
+// -cpuprofile/-memprofile capture host pprof profiles of the replay.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
+	"inlinered/internal/obs"
 	"inlinered/internal/trace"
 	"inlinered/internal/volume"
 )
@@ -31,7 +39,23 @@ func main() {
 	cleanEvery := flag.Int("clean-every", 4096, "run the segment cleaner every N ops (0 = never)")
 	seed := flag.Int64("seed", 1, "seed")
 	noCompress := flag.Bool("no-compress", false, "disable compression")
+	jsonOut := flag.Bool("json", false, "print the replay report as JSON on stdout")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file of the replay's virtual-time spans")
+	cpuProfile := flag.String("cpuprofile", "", "write a host CPU pprof profile to this file")
+	memProfile := flag.String("memprofile", "", "write a host heap pprof profile to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var recs []trace.Record
 	var err error
@@ -66,6 +90,11 @@ func main() {
 	cfg := volume.DefaultConfig()
 	cfg.Blocks = *blocks
 	cfg.Compress = !*noCompress
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		rec = obs.NewRecorder()
+		cfg.Obs = rec
+	}
 	vol, err := volume.New(cfg)
 	if err != nil {
 		fatal(err)
@@ -74,7 +103,46 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println(rep)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tracerun: wrote %d trace events to %s\n", rec.Events(), *traceOut)
+	}
+
+	if *jsonOut {
+		out, err := rep.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(out)
+	} else {
+		fmt.Println(rep)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

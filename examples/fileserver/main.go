@@ -3,7 +3,9 @@
 // binaries) — processed as a sequence of datasets through one pipeline
 // whose index persists across them. Demonstrates per-dataset reporting on
 // the public API and how compressibility moves throughput (§4(2)'s
-// observation that compression throughput rises with the ratio).
+// observation that compression throughput rises with the ratio), then
+// replays a small closed-loop burst on the block device to show per-request
+// tail latency from the always-on volume histograms.
 //
 //	go run ./examples/fileserver
 package main
@@ -11,6 +13,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"inlinered"
 )
@@ -58,4 +61,42 @@ func main() {
 		float64(totalIn)/float64(totalStored))
 	fmt.Println("note how the incompressible media dataset still dedups, and how the")
 	fmt.Println("compressible one runs fastest — the §4(2) effect.")
+
+	// Closed-loop tail latency: drive the block device one request at a
+	// time (each op completes before the next is issued) and read the
+	// per-op latency histograms out of the device stats.
+	dev, err := inlinered.NewBlockDevice(inlinered.BlockDeviceOptions{Blocks: 4096})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream, err := inlinered.NewStream(inlinered.StreamSpec{
+		TotalBytes: 4 << 20, DedupRatio: 1.5, CompressionRatio: 2.0, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	for lba := int64(0); ; lba++ {
+		if _, err := stream.Read(buf); err != nil {
+			break
+		}
+		if _, err := dev.Write(lba%4096, buf); err != nil {
+			log.Fatal(err)
+		}
+		if lba%3 == 0 {
+			if _, _, err := dev.Read(lba % 4096); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	st := dev.Stats()
+	fmt.Println()
+	fmt.Println("closed-loop block device burst (per-request virtual latency):")
+	printLat := func(name string, l inlinered.LatencySummary) {
+		fmt.Printf("  %-5s n=%-5d p50=%-10v p95=%-10v p99=%-10v max=%v\n",
+			name, l.Count,
+			l.P50.Round(time.Microsecond), l.P95.Round(time.Microsecond),
+			l.P99.Round(time.Microsecond), l.Max.Round(time.Microsecond))
+	}
+	printLat("write", st.WriteLat)
+	printLat("read", st.ReadLat)
 }

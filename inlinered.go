@@ -27,6 +27,7 @@ import (
 	"inlinered/internal/core"
 	"inlinered/internal/fault"
 	"inlinered/internal/lz"
+	"inlinered/internal/obs"
 	"inlinered/internal/workload"
 )
 
@@ -44,6 +45,21 @@ const (
 
 // Modes lists the four integration options.
 var Modes = core.Modes
+
+// ParseMode parses a mode name as rendered by Mode.String ("cpu-only",
+// "gpu-dedup", "gpu-compress", "gpu-both").
+func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
+
+// Recorder collects virtual-time spans from a run (CPU pipeline stages, GPU
+// kernels and DMAs, SSD channel operations) and exports them as Chrome
+// trace-event JSON via WriteTrace — viewable in Perfetto or
+// chrome://tracing. Recording happens on the sequential commit path, so at
+// a fixed seed the trace bytes are bit-identical for any Parallelism. One
+// recorder should serve one engine or block device.
+type Recorder = obs.Recorder
+
+// NewRecorder returns an empty trace recorder.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
 
 // Platform describes the simulated hardware (CPU, GPU, SSD).
 type Platform = core.Platform
@@ -100,6 +116,10 @@ type Options struct {
 	// a fixed seed makes two runs bit-identical, fault counters included.
 	FaultRate float64
 	FaultSeed int64
+	// Recorder attaches an observability recorder (NewRecorder) to the
+	// run. Nil means off and leaves the Report bit-identical to a run
+	// without observability.
+	Recorder *Recorder
 }
 
 // Report summarizes a run: throughput (IOPS of chunk-sized writes and
@@ -134,6 +154,7 @@ func (o Options) config() core.Config {
 	if o.FaultRate > 0 {
 		cfg.Faults = fault.Config{Seed: o.FaultSeed, Rates: fault.Uniform(o.FaultRate)}
 	}
+	cfg.Obs = o.Recorder
 	return cfg
 }
 

@@ -1,6 +1,8 @@
 package inlinered
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"testing"
 )
@@ -139,7 +141,7 @@ func TestBlockDevice(t *testing.T) {
 	if dev.Stats().DedupHits != 1 {
 		t.Fatalf("dedup hits: %d", dev.Stats().DedupHits)
 	}
-	if err := dev.Trim(3); err != nil {
+	if _, err := dev.Trim(3); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := dev.Clean(); err != nil {
@@ -150,5 +152,68 @@ func TestBlockDevice(t *testing.T) {
 	}
 	if _, err := NewBlockDevice(BlockDeviceOptions{BlockSize: 8}); err == nil {
 		t.Fatal("bad block size should be rejected")
+	}
+}
+
+// TestRecorderAndJSON smoke-tests the observability surface of the public
+// API: a Recorder collects spans from a run, exports valid Chrome
+// trace-event JSON, and the report's JSON envelope parses.
+func TestRecorderAndJSON(t *testing.T) {
+	stream, err := NewStream(StreamSpec{TotalBytes: 4 << 20, DedupRatio: 2, CompressionRatio: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	rep, err := Run(PaperPlatform(), Options{Mode: GPUBoth, Recorder: rec}, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Spans() == 0 {
+		t.Fatal("recorder saw no spans")
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	spans := 0
+	for _, e := range tr.TraceEvents {
+		if e.Ph == "X" {
+			spans++
+		}
+	}
+	if int64(spans) != rec.Spans() {
+		t.Errorf("trace has %d complete events, recorder counted %d", spans, rec.Spans())
+	}
+
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(js, &env); err != nil {
+		t.Fatalf("report JSON does not parse: %v", err)
+	}
+	if env.Schema == "" {
+		t.Error("report JSON missing schema tag")
+	}
+	if rep.Latency.JournalFlush.Count == 0 {
+		t.Errorf("recorder-enabled run reported no journal-flush latency: %+v", rep.Latency)
+	}
+
+	m, err := ParseMode("gpu-both")
+	if err != nil || m != GPUBoth {
+		t.Errorf("ParseMode(gpu-both) = %v, %v", m, err)
 	}
 }

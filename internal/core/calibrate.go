@@ -34,6 +34,7 @@ func Calibrate(plat Platform, cfg Config, sampleBytes int64) (*CalibrationResult
 		mcfg := cfg
 		mcfg.Mode = m
 		mcfg.Verify = false
+		mcfg.Obs = nil // calibration probes must not pollute the run's trace
 		needGPU := (mcfg.Dedup && m.UsesGPUDedup()) || (mcfg.Compress && m.UsesGPUCompress())
 		if needGPU && !plat.HasGPU {
 			continue

@@ -7,6 +7,7 @@ import (
 	"inlinered/internal/dedup"
 	"inlinered/internal/fault"
 	"inlinered/internal/lz"
+	"inlinered/internal/obs"
 )
 
 // Mode is one of the four integration options of §4(3): which data
@@ -43,6 +44,36 @@ func (m Mode) String() string {
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
+}
+
+// ParseMode parses a mode name as String renders it ("cpu-only",
+// "gpu-dedup", "gpu-compress", "gpu-both").
+func ParseMode(s string) (Mode, error) {
+	for _, m := range Modes {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown mode %q (want cpu-only, gpu-dedup, gpu-compress, or gpu-both)", s)
+}
+
+// MarshalJSON encodes the mode as its figure label, keeping the report
+// schema readable and stable against enum reordering.
+func (m Mode) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + m.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a mode from its figure label.
+func (m *Mode) UnmarshalJSON(data []byte) error {
+	if len(data) < 2 || data[0] != '"' || data[len(data)-1] != '"' {
+		return fmt.Errorf("core: mode must be a JSON string, got %s", data)
+	}
+	parsed, err := ParseMode(string(data[1 : len(data)-1]))
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
 }
 
 // UsesGPUDedup reports whether the mode gives the GPU to indexing.
@@ -142,6 +173,15 @@ type Config struct {
 	// injection. With a fixed seed, two runs of the same workload produce
 	// bit-identical Reports, fault counters included, for any Parallelism.
 	Faults fault.Config
+
+	// Obs attaches an observability recorder: virtual-time spans for every
+	// committed CPU job, GPU kernel, DMA, and NAND operation, plus latency
+	// histograms for journal flushes and GPU batch turnaround. Recording is
+	// driven from the sequential commit path only, so with a fixed seed the
+	// trace bytes and histograms are bit-identical for any Parallelism. A
+	// nil Obs produces a Report bit-identical to a build without
+	// observability.
+	Obs *obs.Recorder
 }
 
 // DefaultConfig returns the paper-faithful configuration: 4 KB chunks,

@@ -3,9 +3,11 @@ package core
 import (
 	"bytes"
 	"reflect"
+	"strings"
 	"testing"
 
 	"inlinered/internal/lz"
+	"inlinered/internal/obs"
 	"inlinered/internal/workload"
 )
 
@@ -72,6 +74,82 @@ func TestParallelismDeterminism(t *testing.T) {
 			}
 			if !bytes.Equal(engSerial.JournalImage(), engPar.JournalImage()) {
 				t.Error("journal images differ between serial and parallel runs")
+			}
+		})
+	}
+}
+
+// TestObservabilityDeterminism is the tracing contract: all recording runs
+// on the sequential virtual-time commit path, so at a fixed seed the trace
+// bytes and every histogram are bit-identical for any Parallelism, and a
+// nil Recorder leaves the Report bit-identical to a run without
+// observability (latency summaries aside, which only a recorder enables).
+func TestObservabilityDeterminism(t *testing.T) {
+	type variant struct {
+		name string
+		dd   float64
+		cr   float64
+		mut  func(*Config)
+	}
+	variants := []variant{
+		{"cpu-only", 2.0, 2.0, func(c *Config) { c.Mode = CPUOnly }},
+		{"gpu-both", 2.0, 2.0, func(c *Config) { c.Mode = GPUBoth }},
+		{"entropy-bypass", 1.5, 1.0, func(c *Config) {
+			c.Mode = GPUCompress
+			c.SkipIncompressible = true
+		}},
+	}
+	run := func(t *testing.T, v variant, par int, rec *obs.Recorder) *Report {
+		t.Helper()
+		cfg := testConfig(CPUOnly)
+		v.mut(&cfg)
+		cfg.Parallelism = par
+		cfg.Obs = rec
+		s := testStream(t, 4<<20, v.dd, v.cr, workload.RefUniform)
+		_, rep := runPipeline(t, PaperPlatform(), cfg, s)
+		return rep
+	}
+	traceBytes := func(t *testing.T, rec *obs.Recorder) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := rec.WriteTrace(&buf); err != nil {
+			t.Fatalf("WriteTrace: %v", err)
+		}
+		return buf.Bytes()
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			recBase := obs.NewRecorder()
+			repBase := run(t, v, 1, recBase)
+			baseTrace := traceBytes(t, recBase)
+			if recBase.Spans() == 0 {
+				t.Fatal("recorder saw no spans")
+			}
+			for _, par := range []int{4, 16} {
+				rec := obs.NewRecorder()
+				rep := run(t, v, par, rec)
+				if !reflect.DeepEqual(repBase, rep) {
+					t.Errorf("parallelism=%d: reports differ:\nbase: %+v\ngot:  %+v", par, repBase, rep)
+				}
+				if !bytes.Equal(baseTrace, traceBytes(t, rec)) {
+					t.Errorf("parallelism=%d: trace bytes differ from serial run", par)
+				}
+			}
+
+			// A nil recorder must leave everything but the recorder-gated
+			// latency summaries bit-identical, and must not leak a latency
+			// line into the human-readable report.
+			repOff := run(t, v, 4, nil)
+			if repOff.Latency.Any() {
+				t.Error("latency summaries populated without a recorder")
+			}
+			if strings.Contains(repOff.String(), "latency") {
+				t.Errorf("obs-off String leaks latency line:\n%s", repOff)
+			}
+			repScrubbed := *repBase
+			repScrubbed.Latency = PipelineLatency{}
+			if !reflect.DeepEqual(&repScrubbed, repOff) {
+				t.Errorf("obs-on report (latency aside) differs from obs-off report:\non:  %+v\noff: %+v", &repScrubbed, repOff)
 			}
 		})
 	}

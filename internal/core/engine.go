@@ -14,6 +14,7 @@ import (
 	"inlinered/internal/fault"
 	"inlinered/internal/gpu"
 	"inlinered/internal/lz"
+	"inlinered/internal/obs"
 	"inlinered/internal/parallel"
 	"inlinered/internal/sim"
 	"inlinered/internal/ssd"
@@ -51,6 +52,14 @@ type Engine struct {
 	faults      *fault.Injector
 	gpuLost     bool // the device died; all GPU work re-routes to the CPU
 	journalDead bool // journal writes failed permanently; index is memory-only
+
+	// Observability. Like the fault injector, the recorder is driven only
+	// from the sequential commit path, so a fixed seed traces identically
+	// for any Parallelism; nil means off and bit-identical to HEAD.
+	obs          *obs.Recorder
+	cpuLanes     []obs.Lane // one trace lane per virtual hardware thread
+	histJournal  sim.Histogram
+	histGPUBatch sim.Histogram
 
 	rep   Report
 	ran   bool
@@ -188,6 +197,20 @@ func NewEngine(plat Platform, cfg Config) (*Engine, error) {
 		}
 		if e.index != nil {
 			e.index.SetFaultInjector(e.faults)
+		}
+	}
+	if cfg.Obs != nil {
+		e.obs = cfg.Obs
+		// Lane registration order fixes the pid/tid assignment: CPU hardware
+		// threads first, then the SSD channels, then the GPU queue and link.
+		e.cpuLanes = make([]obs.Lane, e.cpu.Pool.Servers())
+		for i := range e.cpuLanes {
+			e.cpuLanes[i] = cfg.Obs.Lane("cpu", fmt.Sprintf("t%d", i))
+		}
+		e.drive.SetRecorder(cfg.Obs)
+		e.drive.MarkJournalRegion(e.journalBase)
+		if e.dev != nil {
+			e.dev.SetRecorder(cfg.Obs)
 		}
 	}
 	if cfg.Verify {
@@ -392,7 +415,9 @@ func (e *Engine) hashBatch(chunks [][]byte) *hashedBatch {
 		if e.cfg.Dedup {
 			hashCycles = cost.HashCycles(len(c))
 		}
-		_, hb.hashEnd[i] = e.cpu.Run(0, chunkCycles+hashCycles)
+		var start time.Duration
+		start, hb.hashEnd[i] = e.cpu.Run(0, chunkCycles+hashCycles)
+		e.cpuSpan("chunk+hash", start, hb.hashEnd[i])
 		hb.ready = sim.MaxTime(hb.ready, hb.hashEnd[i])
 		e.rep.Stages.Chunking += e.seconds(chunkCycles)
 		e.rep.Stages.Hashing += e.seconds(hashCycles)
@@ -431,7 +456,8 @@ func (e *Engine) screen(hb *hashedBatch) {
 	}
 	// Host-side result merge: one staging pass over the batch.
 	mergeCycles := e.cpu.Cost.MemcpyCycles(8*len(hb.fps)) + e.cpu.Cost.StageOverheadCycles
-	_, mergeEnd := e.cpu.Run(gdone, mergeCycles)
+	mergeStart, mergeEnd := e.cpu.Run(gdone, mergeCycles)
+	e.cpuSpan("merge-results", mergeStart, mergeEnd)
 	e.rep.Stages.GPUMerge += e.seconds(mergeCycles)
 	hb.screened = true
 	hb.ghits = ghits
@@ -611,7 +637,8 @@ func (e *Engine) downstream(hb *hashedBatch) error {
 					p = e.index.Lookup(fps[i])
 				}
 				probeCycles := cost.ProbeCycles(p.BufferScanned, p.TreeSteps)
-				_, end := e.cpu.Run(ready[i], probeCycles)
+				start, end := e.cpu.Run(ready[i], probeCycles)
+				e.cpuSpan("probe", start, end)
 				ready[i] = end
 				e.rep.Stages.Indexing += e.seconds(probeCycles)
 				if p.Found {
@@ -672,7 +699,7 @@ func (e *Engine) downstream(hb *hashedBatch) error {
 				}
 				base := skipCycles + cost.MemcpyCycles(len(blob)) + cost.StageOverheadCycles
 				e.rep.Stages.Compression += e.seconds(base)
-				err := e.finishUnique(fps[i], blob, ready[i], base, int(e.rep.Chunks-1))
+				err := e.finishUnique(fps[i], blob, ready[i], base, int(e.rep.Chunks-1), "store-raw")
 				e.chunkBufs.Put(c)
 				if err != nil {
 					return err
@@ -704,6 +731,7 @@ func (e *Engine) downstream(hb *hashedBatch) error {
 		// covers serial runs and prediction upsets (see precompute).
 		var blob []byte
 		var baseCycles float64
+		spanName := "store-raw"
 		if e.cfg.Compress {
 			var st lz.Stats
 			if pre != nil && pre[i].done {
@@ -713,12 +741,13 @@ func (e *Engine) downstream(hb *hashedBatch) error {
 				blob, st = lz.CompressCodec(e.cfg.Codec, e.blobBufs.Get(len(c)+blobHeadroom), c, e.cfg.LZ)
 			}
 			baseCycles = skipCycles + cost.CompressCycles(st.Positions, st.SearchSteps, st.DstBytes) + cost.StageOverheadCycles
+			spanName = "compress+insert"
 		} else {
 			blob = lz.StoreRaw(e.blobBufs.Get(len(c)+blobHeadroom), c)
 			baseCycles = cost.MemcpyCycles(len(blob)) + cost.StageOverheadCycles
 		}
 		e.rep.Stages.Compression += e.seconds(baseCycles)
-		err := e.finishUnique(fps[i], blob, ready[i], baseCycles, int(e.rep.Chunks-1))
+		err := e.finishUnique(fps[i], blob, ready[i], baseCycles, int(e.rep.Chunks-1), spanName)
 		e.chunkBufs.Put(c)
 		if err != nil {
 			return err
@@ -789,6 +818,11 @@ func (e *Engine) flushGPUCompress() error {
 		return e.fallbackCPUCompress(pend, t)
 	}
 	t = e.dev.TransferFromDevice(t, rawBytes+8*len(pend))
+	if e.obs != nil {
+		// GPU batch turnaround: from the batch being ready on the host to
+		// the compressed lanes landing back in host memory.
+		e.histGPUBatch.Observe(t - batchReady)
+	}
 
 	// CPU post-processing: stitch each chunk's lanes into the final blob.
 	// The blobs are computed now, but their CPU jobs are committed when the
@@ -838,7 +872,7 @@ func (e *Engine) fallbackCPUCompress(pend []gpuPending, at time.Duration) error 
 	for i, p := range pend {
 		base := cost.CompressCycles(stats[i].Positions, stats[i].SearchSteps, stats[i].DstBytes) + cost.StageOverheadCycles
 		e.rep.Stages.Compression += e.seconds(base)
-		err := e.finishUnique(p.fp, blobs[i], sim.MaxTime(p.ready, at), base, int(p.idx))
+		err := e.finishUnique(p.fp, blobs[i], sim.MaxTime(p.ready, at), base, int(p.idx), "cpu-fallback")
 		e.chunkBufs.Put(pend[i].data)
 		pend[i].data = nil
 		if err != nil {
@@ -867,7 +901,7 @@ func (e *Engine) retireBatch(rb retiredBatch) error {
 	for i, p := range rb.pend {
 		base := cost.PostProcessCycles(len(rb.blobs[i])) + cost.StageOverheadCycles
 		e.rep.Stages.PostProcess += e.seconds(base)
-		if err := e.finishUnique(p.fp, rb.blobs[i], rb.t, base, int(p.idx)); err != nil {
+		if err := e.finishUnique(p.fp, rb.blobs[i], rb.t, base, int(p.idx), "post-process+insert"); err != nil {
 			return err
 		}
 	}
@@ -883,7 +917,7 @@ func (e *Engine) retireBatch(rb retiredBatch) error {
 // Blobs pack into SSD pages log-structured: the blob lands at the next free
 // byte offset, and the destage write covers exactly the pages the blob
 // completes, so compression savings translate into page savings.
-func (e *Engine) finishUnique(fp dedup.Fingerprint, blob []byte, ready time.Duration, baseCycles float64, chunkIdx int) error {
+func (e *Engine) finishUnique(fp dedup.Fingerprint, blob []byte, ready time.Duration, baseCycles float64, chunkIdx int, spanName string) error {
 	cost := e.cpu.Cost
 	loc := e.dataCursor
 	if loc+int64(len(blob)) > e.dataLimit {
@@ -921,7 +955,8 @@ func (e *Engine) finishUnique(fp dedup.Fingerprint, blob []byte, ready time.Dura
 		cycles += insCycles
 		e.rep.Stages.Insert += e.seconds(insCycles)
 	}
-	_, end := e.cpu.Run(ready, cycles)
+	start, end := e.cpu.Run(ready, cycles)
+	e.cpuSpan(spanName, start, end)
 	if pages > 0 {
 		if _, err := e.writeDrive(end, firstPage, int(pages)); err != nil {
 			return err
@@ -946,6 +981,16 @@ func (e *Engine) finishUnique(fp dedup.Fingerprint, blob []byte, ready time.Dura
 // breakdown.
 func (e *Engine) seconds(cycles float64) float64 {
 	return cycles / e.plat.CPU.ClockHz
+}
+
+// cpuSpan records one committed CPU job on the trace lane of the virtual
+// hardware thread that ran it (the server the pool just placed the job on).
+// Must be called immediately after the e.cpu.Run that scheduled the job.
+func (e *Engine) cpuSpan(name string, start, end time.Duration) {
+	if e.obs == nil {
+		return
+	}
+	e.obs.Span(e.cpuLanes[e.cpu.Pool.LastServer()], name, start, end)
 }
 
 // gpuBin maps a CPU bin id onto the coarser GPU bin grid: both are leading
@@ -985,13 +1030,17 @@ func (e *Engine) journalFlush(at time.Duration, f *dedup.Flush) {
 	if frac, torn := e.faults.TornFraction(); torn {
 		e.journal.AppendTorn(f, frac)
 		e.rep.Faults.JournalTornRecords++
-		_ = e.writeJournal(at, f.Bytes) // the partial write still happened
+		_, _ = e.writeJournal(at, f.Bytes) // the partial write still happened
 		return
 	}
-	if err := e.writeJournal(at, f.Bytes); err != nil {
+	end, err := e.writeJournal(at, f.Bytes)
+	if err != nil {
 		e.journalDead = true
 		e.rep.Faults.JournalWriteFailures++
 		return
+	}
+	if e.obs != nil {
+		e.histJournal.Observe(end - at)
 	}
 	e.journal.Append(f)
 }
@@ -999,7 +1048,7 @@ func (e *Engine) journalFlush(at time.Duration, f *dedup.Flush) {
 // writeJournal appends one bin-buffer flush to the sequential journal
 // region ("this creates the appropriate sequential writes for the SSD",
 // §3.3), wrapping at the region end.
-func (e *Engine) writeJournal(at time.Duration, bytes int) error {
+func (e *Engine) writeJournal(at time.Duration, bytes int) (time.Duration, error) {
 	pages := int64(e.drive.Pages(bytes))
 	if pages == 0 {
 		pages = 1
@@ -1007,13 +1056,14 @@ func (e *Engine) writeJournal(at time.Duration, bytes int) error {
 	if e.journalCur+pages > e.journalLimit {
 		e.journalCur = e.journalBase
 	}
-	if _, err := e.writeDrive(at, e.journalCur, int(pages)); err != nil {
-		return err
+	end, err := e.writeDrive(at, e.journalCur, int(pages))
+	if err != nil {
+		return end, err
 	}
 	e.journalCur += pages
 	e.rep.JournalBytes += int64(bytes)
 	e.rep.JournalWrites++
-	return nil
+	return end, nil
 }
 
 // finalFlush writes the final partial data page and drains the bin buffers
@@ -1028,7 +1078,9 @@ func (e *Engine) finalFlush() {
 		return
 	}
 	for _, f := range e.index.FlushAll() {
-		_, at = e.cpu.Run(at, float64(f.TreeSteps)*e.cpu.Cost.TreeStepCycles)
+		var start time.Duration
+		start, at = e.cpu.Run(at, float64(f.TreeSteps)*e.cpu.Cost.TreeStepCycles)
+		e.cpuSpan("flush-drain", start, at)
 		e.journalFlush(at, f)
 		if e.gbins != nil && !e.gpuLost {
 			_, _ = e.gbins.Update(at, e.gpuBin(f.Bin), f.Keys(), f.Values())
@@ -1071,6 +1123,8 @@ func (e *Engine) finish() {
 		r.IndexMemory = e.index.MemoryBytes()
 		r.IndexEvictions = e.index.Evicted()
 	}
+	r.Latency.JournalFlush = e.histJournal.Summary()
+	r.Latency.GPUBatch = e.histGPUBatch.Summary()
 	if e.faults != nil {
 		r.Faults.LatencySpikes = r.SSD.LatencySpikes
 		if e.journal != nil {

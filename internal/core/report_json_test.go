@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"inlinered/internal/obs"
+	"inlinered/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current output")
+
+// goldenReport runs a fixed gpu-both pipeline with a recorder attached; the
+// run is fully deterministic, so its report can be locked byte-for-byte.
+func goldenReport(t *testing.T) *Report {
+	t.Helper()
+	cfg := testConfig(GPUBoth)
+	cfg.Verify = false
+	cfg.Obs = obs.NewRecorder()
+	s := testStream(t, 2<<20, 2.0, 2.0, workload.RefUniform)
+	_, rep := runPipeline(t, PaperPlatform(), cfg, s)
+	return rep
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output changed; run with -update if intentional.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestReportGolden locks both machine- and human-readable encodings of the
+// run report: the stable JSON envelope and Report.String. Any change to
+// either format must update the golden files deliberately.
+func TestReportGolden(t *testing.T) {
+	rep := goldenReport(t)
+
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.json", js)
+	checkGolden(t, "report.txt", []byte(rep.String()+"\n"))
+
+	// The envelope must round-trip: schema tag present, report decodable.
+	var env struct {
+		Schema string `json:"schema"`
+		Report Report `json:"report"`
+	}
+	if err := json.Unmarshal(js, &env); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if env.Schema != ReportSchema {
+		t.Errorf("schema = %q, want %q", env.Schema, ReportSchema)
+	}
+	if env.Report.Mode != rep.Mode || env.Report.Chunks != rep.Chunks || env.Report.Elapsed != rep.Elapsed {
+		t.Errorf("decoded report differs: got mode=%v chunks=%d elapsed=%v", env.Report.Mode, env.Report.Chunks, env.Report.Elapsed)
+	}
+	if env.Report.Latency.JournalFlush.Count == 0 {
+		t.Error("latency summary lost in round-trip")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"inlinered/internal/fault"
+	"inlinered/internal/obs"
 	"inlinered/internal/sim"
 )
 
@@ -195,13 +196,16 @@ func (k KernelFunc) Run() Profile { return k.Fn() }
 // concurrent use.
 type Device struct {
 	Config
-	queue    *sim.Pool
-	link     *sim.Link
-	memUsed  int64
-	kernels  int64
-	profiles Profiles
-	faults   *fault.Injector
-	lost     bool
+	queue      *sim.Pool
+	link       *sim.Link
+	memUsed    int64
+	kernels    int64
+	profiles   Profiles
+	faults     *fault.Injector
+	lost       bool
+	rec        *obs.Recorder
+	laneKernel obs.Lane // command-queue timeline
+	lanePCIe   obs.Lane // DMA timeline
 }
 
 // Profiles accumulates device-wide kernel statistics.
@@ -256,6 +260,17 @@ func (d *Device) ComputeTime(p Profile) time.Duration {
 // injection.
 func (d *Device) SetFaultInjector(fi *fault.Injector) { d.faults = fi }
 
+// SetRecorder attaches an observability recorder with two trace lanes: one
+// for the in-order command queue (kernel spans named after the kernel, with
+// the item count as an argument) and one for the PCIe link ("h2d"/"d2h"
+// spans carrying byte counts), so host-compute/DMA overlap is visible the
+// way arXiv:1202.3669 renders it. A nil recorder disables recording.
+func (d *Device) SetRecorder(r *obs.Recorder) {
+	d.rec = r
+	d.laneKernel = r.Lane("gpu", "kernels")
+	d.lanePCIe = r.Lane("gpu", "pcie")
+}
+
 // Lost reports whether an injected device loss has killed the GPU. Once
 // lost, the device stays lost; results of kernels that completed before the
 // loss remain valid (they were already copied back or retired).
@@ -277,11 +292,14 @@ func (d *Device) Launch(at time.Duration, k Kernel) (end time.Duration, p Profil
 	if d.faults.DeviceLost() {
 		d.lost = true
 		_, end = d.queue.Acquire(at, d.LaunchOverhead)
+		d.rec.Instant(d.laneKernel, "device-lost", end)
 		return end, Profile{}, fmt.Errorf("gpu: launch %s: %w", k.Name(), fault.ErrDeviceLost)
 	}
 	p = k.Run()
 	dur := d.LaunchOverhead + d.ComputeTime(p)
-	_, end = d.queue.Acquire(at, dur)
+	var start time.Duration
+	start, end = d.queue.Acquire(at, dur)
+	d.rec.SpanN(d.laneKernel, k.Name(), start, end, "items", int64(p.Items))
 	d.kernels++
 	d.profiles.Items += int64(p.Items)
 	d.profiles.Waves += int64(p.Waves)
@@ -293,13 +311,15 @@ func (d *Device) Launch(at time.Duration, k Kernel) (end time.Duration, p Profil
 // TransferToDevice charges an n-byte host-to-device DMA arriving at virtual
 // time at and returns its completion time.
 func (d *Device) TransferToDevice(at time.Duration, n int) time.Duration {
-	_, end := d.link.Transfer(at, n)
+	start, end := d.link.Transfer(at, n)
+	d.rec.SpanN(d.lanePCIe, "h2d", start, end, "bytes", int64(n))
 	return end
 }
 
 // TransferFromDevice charges an n-byte device-to-host DMA.
 func (d *Device) TransferFromDevice(at time.Duration, n int) time.Duration {
-	_, end := d.link.Transfer(at, n)
+	start, end := d.link.Transfer(at, n)
+	d.rec.SpanN(d.lanePCIe, "d2h", start, end, "bytes", int64(n))
 	return end
 }
 

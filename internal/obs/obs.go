@@ -1,0 +1,256 @@
+// Package obs is the observability layer for the virtual-time pipeline: a
+// nil-safe span/event recorder whose timestamps come from the simulation's
+// virtual clock, exported as Chrome trace-event JSON (viewable in Perfetto
+// or chrome://tracing).
+//
+// Design rules, shared with the rest of the repository's determinism
+// contract:
+//
+//   - All recording happens on the sequential virtual-time commit path —
+//     never inside the wall-clock worker pool — so for a fixed seed the
+//     recorded byte stream is bit-identical for any Config.Parallelism.
+//   - A nil *Recorder is a valid recorder: every method no-ops, costs one
+//     nil check, and leaves the run bit-identical to a build without
+//     observability.
+//   - Lanes map one-to-one onto simulated resources (a CPU hardware thread,
+//     the GPU command queue, the PCIe link, an SSD channel), so spans on one
+//     lane never overlap and the trace renders the schedule the paper's
+//     figures describe: dedup-before-compression overlap on the CPU threads,
+//     kernels and DMAs interleaving on the GPU, journal writes riding the
+//     SSD channels between destage traffic.
+//
+// The trace encoder is hand-rolled over ordered fields (no maps), so the
+// output bytes are a pure function of the recorded events.
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Lane is a handle to one timeline: a (process, thread) pair in the Chrome
+// trace model, standing for one simulated resource. The zero Lane is
+// inert — spans recorded on it are dropped — so callers may hold lanes
+// unconditionally and only register them when a recorder is attached.
+type Lane struct {
+	pid, tid int32
+}
+
+// Valid reports whether the lane was registered on a recorder.
+func (l Lane) Valid() bool { return l.pid != 0 }
+
+// event is one recorded trace event. ph follows the Chrome trace-event
+// phases: 'X' complete span, 'i' instant; 'P' and 'T' are internal markers
+// for process/thread metadata emitted at registration time.
+type event struct {
+	ph       byte
+	pid, tid int32
+	ts, dur  time.Duration
+	name     string
+	argKey   string
+	argVal   int64
+	hasArg   bool
+}
+
+// Recorder accumulates virtual-time spans and instants. The zero value via
+// NewRecorder is ready to use; a nil *Recorder no-ops every method. Not safe
+// for concurrent use — recording is driven from the sequential simulation
+// path by design.
+type Recorder struct {
+	procs   map[string]int32 // process name -> pid
+	lanes   map[string]Lane  // "process\x00thread" -> registered lane
+	nextTID map[int32]int32  // pid -> last assigned tid
+	events  []event
+	spans   int64
+	instant int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		procs:   make(map[string]int32),
+		lanes:   make(map[string]Lane),
+		nextTID: make(map[int32]int32),
+	}
+}
+
+// Lane registers (or retrieves) the lane for one simulated resource, named
+// by a process group (e.g. "cpu", "gpu", "ssd") and a thread within it
+// (e.g. "t3", "ch0", "pcie"). Process and thread ids are assigned in first-
+// registration order, so a deterministic registration sequence yields a
+// deterministic trace. On a nil recorder it returns the inert zero Lane.
+func (r *Recorder) Lane(process, thread string) Lane {
+	if r == nil {
+		return Lane{}
+	}
+	key := process + "\x00" + thread
+	if l, ok := r.lanes[key]; ok {
+		return l
+	}
+	pid, ok := r.procs[process]
+	if !ok {
+		pid = int32(len(r.procs) + 1)
+		r.procs[process] = pid
+		r.events = append(r.events, event{ph: 'P', pid: pid, name: process})
+	}
+	tid := r.nextTID[pid] + 1
+	r.nextTID[pid] = tid
+	l := Lane{pid: pid, tid: tid}
+	r.lanes[key] = l
+	r.events = append(r.events, event{ph: 'T', pid: pid, tid: tid, name: thread})
+	return l
+}
+
+// Span records a complete span [start, end] on a lane. Zero-length spans
+// are kept (they mark scheduling decisions); spans on the zero Lane or a
+// nil recorder are dropped.
+func (r *Recorder) Span(l Lane, name string, start, end time.Duration) {
+	if r == nil || !l.Valid() {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	r.events = append(r.events, event{ph: 'X', pid: l.pid, tid: l.tid, ts: start, dur: end - start, name: name})
+	r.spans++
+}
+
+// SpanN records a span with one integer argument (e.g. bytes moved, pages
+// programmed, kernel items) shown in the trace viewer's detail pane.
+func (r *Recorder) SpanN(l Lane, name string, start, end time.Duration, argKey string, argVal int64) {
+	if r == nil || !l.Valid() {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	r.events = append(r.events, event{
+		ph: 'X', pid: l.pid, tid: l.tid, ts: start, dur: end - start,
+		name: name, argKey: argKey, argVal: argVal, hasArg: true,
+	})
+	r.spans++
+}
+
+// Instant records a point event (e.g. an injected fault firing) on a lane.
+func (r *Recorder) Instant(l Lane, name string, at time.Duration) {
+	if r == nil || !l.Valid() {
+		return
+	}
+	r.events = append(r.events, event{ph: 'i', pid: l.pid, tid: l.tid, ts: at, name: name})
+	r.instant++
+}
+
+// Spans reports the number of recorded spans.
+func (r *Recorder) Spans() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.spans
+}
+
+// Events reports the number of recorded span and instant events (metadata
+// excluded).
+func (r *Recorder) Events() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.spans + r.instant
+}
+
+// WriteTrace writes the recorded events as Chrome trace-event JSON (the
+// object form, one event per line). Timestamps are virtual microseconds
+// with nanosecond precision. The byte stream is a pure function of the
+// recorded events: two runs that record the same events produce identical
+// files. A nil recorder writes an empty, valid trace.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	if r != nil {
+		first := true
+		var buf []byte
+		for _, ev := range r.events {
+			if !first {
+				bw.WriteString(",\n")
+			}
+			first = false
+			buf = appendEvent(buf[:0], ev)
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// appendEvent renders one event as a single JSON object with a fixed field
+// order.
+func appendEvent(b []byte, ev event) []byte {
+	switch ev.ph {
+	case 'P':
+		b = append(b, `{"ph":"M","pid":`...)
+		b = strconv.AppendInt(b, int64(ev.pid), 10)
+		b = append(b, `,"tid":0,"name":"process_name","args":{"name":`...)
+		b = strconv.AppendQuote(b, ev.name)
+		b = append(b, `}}`...)
+	case 'T':
+		b = append(b, `{"ph":"M","pid":`...)
+		b = strconv.AppendInt(b, int64(ev.pid), 10)
+		b = append(b, `,"tid":`...)
+		b = strconv.AppendInt(b, int64(ev.tid), 10)
+		b = append(b, `,"name":"thread_name","args":{"name":`...)
+		b = strconv.AppendQuote(b, ev.name)
+		b = append(b, `}}`...)
+	case 'X':
+		b = append(b, `{"ph":"X","pid":`...)
+		b = strconv.AppendInt(b, int64(ev.pid), 10)
+		b = append(b, `,"tid":`...)
+		b = strconv.AppendInt(b, int64(ev.tid), 10)
+		b = append(b, `,"ts":`...)
+		b = appendMicros(b, ev.ts)
+		b = append(b, `,"dur":`...)
+		b = appendMicros(b, ev.dur)
+		b = append(b, `,"name":`...)
+		b = strconv.AppendQuote(b, ev.name)
+		if ev.hasArg {
+			b = append(b, `,"args":{`...)
+			b = strconv.AppendQuote(b, ev.argKey)
+			b = append(b, ':')
+			b = strconv.AppendInt(b, ev.argVal, 10)
+			b = append(b, '}')
+		}
+		b = append(b, '}')
+	case 'i':
+		b = append(b, `{"ph":"i","pid":`...)
+		b = strconv.AppendInt(b, int64(ev.pid), 10)
+		b = append(b, `,"tid":`...)
+		b = strconv.AppendInt(b, int64(ev.tid), 10)
+		b = append(b, `,"ts":`...)
+		b = appendMicros(b, ev.ts)
+		b = append(b, `,"s":"t","name":`...)
+		b = strconv.AppendQuote(b, ev.name)
+		b = append(b, '}')
+	}
+	return b
+}
+
+// appendMicros renders a virtual duration as decimal microseconds with
+// exactly three fractional digits (nanosecond precision), using integer
+// arithmetic only.
+func appendMicros(b []byte, d time.Duration) []byte {
+	if d < 0 {
+		d = 0
+	}
+	us := int64(d) / 1000
+	ns := int64(d) % 1000
+	b = strconv.AppendInt(b, us, 10)
+	b = append(b, '.')
+	b = append(b, byte('0'+ns/100), byte('0'+(ns/10)%10), byte('0'+ns%10))
+	return b
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilRecorder checks every method is a no-op on a nil recorder and that
+// the nil trace is still valid JSON.
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	l := r.Lane("cpu", "t0")
+	if l.Valid() {
+		t.Fatalf("nil recorder returned a valid lane")
+	}
+	r.Span(l, "work", 0, time.Millisecond)
+	r.SpanN(l, "work", 0, time.Millisecond, "bytes", 4096)
+	r.Instant(l, "fault", time.Millisecond)
+	if r.Events() != 0 || r.Spans() != 0 {
+		t.Fatalf("nil recorder counted events")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace on nil recorder: %v", err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+}
+
+// TestZeroLaneDropped checks recording on the zero Lane of a live recorder
+// is dropped rather than attributed to a bogus pid/tid.
+func TestZeroLaneDropped(t *testing.T) {
+	r := NewRecorder()
+	r.Span(Lane{}, "work", 0, time.Millisecond)
+	r.Instant(Lane{}, "fault", 0)
+	if r.Events() != 0 {
+		t.Fatalf("zero-lane events were recorded: %d", r.Events())
+	}
+}
+
+func record(r *Recorder) {
+	cpu0 := r.Lane("cpu", "t0")
+	cpu1 := r.Lane("cpu", "t1")
+	gpu := r.Lane("gpu", "kernels")
+	pcie := r.Lane("gpu", "pcie")
+	r.Span(cpu0, "chunk+hash", 0, 2*time.Microsecond)
+	r.SpanN(pcie, "h2d", time.Microsecond, 3*time.Microsecond, "bytes", 1<<20)
+	r.SpanN(gpu, "lz-batch", 3*time.Microsecond, 9*time.Microsecond, "items", 64)
+	r.Span(cpu1, "post-process", 9*time.Microsecond+500*time.Nanosecond, 11*time.Microsecond)
+	r.Instant(cpu0, "write-error", 5*time.Microsecond)
+}
+
+// TestTraceDeterministicAndValid locks the two core properties: identical
+// recordings yield identical bytes, and the output parses as Chrome
+// trace-event JSON with the expected event count and lane metadata.
+func TestTraceDeterministicAndValid(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	record(a)
+	record(b)
+	var ba, bb bytes.Buffer
+	if err := a.WriteTrace(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteTrace(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatalf("identical recordings produced different trace bytes")
+	}
+
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(ba.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, ba.String())
+	}
+	var spans, instants, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			spans++
+		case "i":
+			instants++
+		case "M":
+			meta++
+		}
+	}
+	if spans != 4 || instants != 1 {
+		t.Fatalf("got %d spans, %d instants; want 4, 1", spans, instants)
+	}
+	// 2 processes + 4 threads of metadata.
+	if meta != 6 {
+		t.Fatalf("got %d metadata events, want 6", meta)
+	}
+	if a.Events() != 5 || a.Spans() != 4 {
+		t.Fatalf("Events=%d Spans=%d, want 5, 4", a.Events(), a.Spans())
+	}
+	// Sub-microsecond timestamps survive with nanosecond precision.
+	if !strings.Contains(ba.String(), `"ts":9.500`) {
+		t.Fatalf("nanosecond-precision timestamp missing:\n%s", ba.String())
+	}
+}
+
+// TestLaneIdentity checks lanes are stable across repeated registration and
+// distinct across names.
+func TestLaneIdentity(t *testing.T) {
+	r := NewRecorder()
+	a := r.Lane("ssd", "ch0")
+	b := r.Lane("ssd", "ch1")
+	c := r.Lane("ssd", "ch0")
+	if a != c {
+		t.Fatalf("re-registering a lane minted a new identity: %v vs %v", a, c)
+	}
+	if a == b {
+		t.Fatalf("distinct threads share a lane")
+	}
+	if n := r.Events(); n != 0 {
+		t.Fatalf("registration counted as events: %d", n)
+	}
+}
+
+// TestSpanClamp checks inverted spans clamp to zero length instead of
+// rendering negative durations.
+func TestSpanClamp(t *testing.T) {
+	r := NewRecorder()
+	l := r.Lane("cpu", "t0")
+	r.Span(l, "x", 5*time.Microsecond, 3*time.Microsecond)
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"dur":0.000`) {
+		t.Fatalf("inverted span not clamped:\n%s", buf.String())
+	}
+}

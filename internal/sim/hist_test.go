@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestHistogramZeroValue checks the zero histogram digests to the zero
+// summary.
+func TestHistogramZeroValue(t *testing.T) {
+	var h Histogram
+	if h.N() != 0 {
+		t.Fatalf("zero histogram has samples")
+	}
+	if s := h.Summary(); s != (LatencySummary{}) {
+		t.Fatalf("zero histogram summary not zero: %+v", s)
+	}
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("zero histogram quantile = %v, want 0", q)
+	}
+}
+
+// TestHistogramBasics checks count/min/mean/max are exact and quantiles are
+// bounded by the observed range.
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	samples := []time.Duration{
+		100 * time.Nanosecond,
+		200 * time.Nanosecond,
+		400 * time.Nanosecond,
+		80 * time.Microsecond,
+		-time.Second, // clamps to 0
+	}
+	for _, d := range samples {
+		h.Observe(d)
+	}
+	s := h.Summary()
+	if s.Count != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count)
+	}
+	if s.Min != 0 {
+		t.Fatalf("Min = %v, want 0 (negative clamps)", s.Min)
+	}
+	if s.Max != 80*time.Microsecond {
+		t.Fatalf("Max = %v, want 80µs", s.Max)
+	}
+	wantMean := (100*time.Nanosecond + 200*time.Nanosecond + 400*time.Nanosecond + 80*time.Microsecond) / 5
+	if s.Mean != wantMean {
+		t.Fatalf("Mean = %v, want %v", s.Mean, wantMean)
+	}
+	for _, q := range []time.Duration{s.P50, s.P95, s.P99} {
+		if q < s.Min || q > s.Max {
+			t.Fatalf("quantile %v outside [%v, %v]", q, s.Min, s.Max)
+		}
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Fatalf("quantiles not monotone: p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+}
+
+// TestHistogramOrderIndependent checks that observation order does not
+// change the digest — the property that makes histograms safe to compare
+// across runs with different wall-clock interleavings.
+func TestHistogramOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]time.Duration, 1000)
+	for i := range samples {
+		samples[i] = time.Duration(rng.Int63n(int64(10 * time.Millisecond)))
+	}
+	var fwd, rev Histogram
+	for _, d := range samples {
+		fwd.Observe(d)
+	}
+	for i := len(samples) - 1; i >= 0; i-- {
+		rev.Observe(samples[i])
+	}
+	if fwd.Summary() != rev.Summary() {
+		t.Fatalf("summaries differ by order:\n%+v\n%+v", fwd.Summary(), rev.Summary())
+	}
+	if fwd.Counts() != rev.Counts() {
+		t.Fatalf("bucket counts differ by order")
+	}
+}
+
+// TestHistogramSingleSample checks every quantile of a one-sample histogram
+// is that sample.
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(42 * time.Microsecond)
+	s := h.Summary()
+	want := 42 * time.Microsecond
+	if s.Min != want || s.Max != want || s.Mean != want || s.P50 != want || s.P99 != want {
+		t.Fatalf("single-sample summary wrong: %+v", s)
+	}
+}

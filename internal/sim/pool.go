@@ -18,6 +18,7 @@ type Pool struct {
 	gap     time.Duration // arrival-after-free idle committed by Acquire
 	jobs    int64
 	horizon time.Duration // latest completion time scheduled so far
+	last    int           // server that received the most recent Acquire
 }
 
 // NewPool returns a Pool with k servers, all free at virtual time 0.
@@ -27,6 +28,9 @@ func NewPool(name string, k int) *Pool {
 		panic(fmt.Sprintf("sim: pool %q needs at least one server, got %d", name, k))
 	}
 	p := &Pool{name: name, free: make(freeHeap, k)}
+	for i := range p.free {
+		p.free[i].id = i
+	}
 	heap.Init(&p.free)
 	return p
 }
@@ -45,12 +49,13 @@ func (p *Pool) Acquire(at, d time.Duration) (start, end time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	start = MaxTime(at, p.free[0])
-	if at > p.free[0] {
-		p.gap += at - p.free[0]
+	start = MaxTime(at, p.free[0].free)
+	if at > p.free[0].free {
+		p.gap += at - p.free[0].free
 	}
 	end = start + d
-	p.free[0] = end
+	p.last = p.free[0].id
+	p.free[0].free = end
 	heap.Fix(&p.free, 0)
 	p.busy += d
 	p.jobs++
@@ -68,11 +73,11 @@ func (p *Pool) AcquireAll(at, d time.Duration) (start, end time.Duration) {
 	}
 	start = at
 	for _, f := range p.free {
-		start = MaxTime(start, f)
+		start = MaxTime(start, f.free)
 	}
 	end = start + d
 	for i := range p.free {
-		p.free[i] = end
+		p.free[i].free = end
 	}
 	heap.Init(&p.free)
 	p.busy += d * time.Duration(len(p.free))
@@ -84,22 +89,27 @@ func (p *Pool) AcquireAll(at, d time.Duration) (start, end time.Duration) {
 }
 
 // NextFree reports when the earliest server becomes free.
-func (p *Pool) NextFree() time.Duration { return p.free[0] }
+func (p *Pool) NextFree() time.Duration { return p.free[0].free }
+
+// LastServer reports which server (0-based, stable across the pool's life)
+// received the most recent Acquire. The observability layer uses it to place
+// each committed job on the timeline lane of the server that ran it.
+func (p *Pool) LastServer() int { return p.last }
 
 // Backlog reports how far behind the pool is at virtual time at: zero when a
 // server is idle, otherwise the wait a new arrival would experience.
 func (p *Pool) Backlog(at time.Duration) time.Duration {
-	if p.free[0] <= at {
+	if p.free[0].free <= at {
 		return 0
 	}
-	return p.free[0] - at
+	return p.free[0].free - at
 }
 
 // Saturated reports whether every server is busy past virtual time at. The
 // integrated pipeline uses this as the paper's "CPU utilization is full"
 // signal when deciding whether to offload indexing to the GPU.
 func (p *Pool) Saturated(at time.Duration) bool {
-	return p.free[0] > at
+	return p.free[0].free > at
 }
 
 // Horizon reports the latest completion time scheduled so far.
@@ -127,18 +137,31 @@ func (p *Pool) Utilization(until time.Duration) float64 {
 // Reset returns every server to free-at-0 and clears statistics.
 func (p *Pool) Reset() {
 	for i := range p.free {
-		p.free[i] = 0
+		p.free[i].free = 0
 	}
-	p.busy, p.gap, p.jobs, p.horizon = 0, 0, 0, 0
+	heap.Init(&p.free)
+	p.busy, p.gap, p.jobs, p.horizon, p.last = 0, 0, 0, 0, 0
+}
+
+// serverSlot is one server's next-free time plus its stable identity (used
+// for trace lanes). Ties break by id so server assignment is deterministic.
+type serverSlot struct {
+	free time.Duration
+	id   int
 }
 
 // freeHeap is a min-heap of per-server next-free times.
-type freeHeap []time.Duration
+type freeHeap []serverSlot
 
-func (h freeHeap) Len() int            { return len(h) }
-func (h freeHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h freeHeap) Len() int { return len(h) }
+func (h freeHeap) Less(i, j int) bool {
+	if h[i].free != h[j].free {
+		return h[i].free < h[j].free
+	}
+	return h[i].id < h[j].id
+}
 func (h freeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *freeHeap) Push(x interface{}) { *h = append(*h, x.(time.Duration)) }
+func (h *freeHeap) Push(x interface{}) { *h = append(*h, x.(serverSlot)) }
 func (h *freeHeap) Pop() interface{} {
 	old := *h
 	n := len(old)

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"inlinered/internal/fault"
+	"inlinered/internal/obs"
 	"inlinered/internal/sim"
 )
 
@@ -62,18 +63,18 @@ func DefaultConfig() Config {
 
 // Stats holds cumulative drive accounting.
 type Stats struct {
-	HostWritePages int64 // pages written on behalf of the host
-	HostReadPages  int64 // pages read on behalf of the host
-	NANDWritePages int64 // pages programmed, including GC migration
-	NANDReadPages  int64 // pages read, including GC migration
-	Erases         int64 // blocks erased
-	GCRuns         int64 // garbage collection invocations
-	TrimmedPages   int64 // pages invalidated via Trim
+	HostWritePages int64 `json:"host_write_pages"` // pages written on behalf of the host
+	HostReadPages  int64 `json:"host_read_pages"`  // pages read on behalf of the host
+	NANDWritePages int64 `json:"nand_write_pages"` // pages programmed, including GC migration
+	NANDReadPages  int64 `json:"nand_read_pages"`  // pages read, including GC migration
+	Erases         int64 `json:"erases"`           // blocks erased
+	GCRuns         int64 `json:"gc_runs"`          // garbage collection invocations
+	TrimmedPages   int64 `json:"trimmed_pages"`    // pages invalidated via Trim
 
 	// Injected-fault accounting (zero unless a fault injector is set).
-	WriteFaults   int64 // host writes rejected by an injected error
-	ReadFaults    int64 // host reads rejected by an injected error
-	LatencySpikes int64 // host requests delayed by an injected spike
+	WriteFaults   int64 `json:"write_faults"`   // host writes rejected by an injected error
+	ReadFaults    int64 `json:"read_faults"`    // host reads rejected by an injected error
+	LatencySpikes int64 `json:"latency_spikes"` // host requests delayed by an injected spike
 }
 
 // WriteAmplification reports NAND programs per host program, or 0 before
@@ -112,11 +113,14 @@ type channel struct {
 // Drive is a simulated SSD. It is not safe for concurrent use.
 type Drive struct {
 	Config
-	chans  []*channel
-	next   int           // round-robin write channel
-	l2p    map[int64]ppn // logical page -> physical page
-	stats  Stats
-	faults *fault.Injector
+	chans       []*channel
+	next        int           // round-robin write channel
+	l2p         map[int64]ppn // logical page -> physical page
+	stats       Stats
+	faults      *fault.Injector
+	rec         *obs.Recorder
+	chLanes     []obs.Lane // one trace lane per NAND channel
+	journalBase int64      // first journal-region page, -1 when unset
 }
 
 // New returns a Drive for cfg. It panics on nonsensical configurations.
@@ -134,7 +138,7 @@ func New(cfg Config) *Drive {
 	if cfg.GCFreeBlocks < 1 {
 		cfg.GCFreeBlocks = 1
 	}
-	d := &Drive{Config: cfg, l2p: make(map[int64]ppn)}
+	d := &Drive{Config: cfg, l2p: make(map[int64]ppn), journalBase: -1}
 	for c := 0; c < cfg.Channels; c++ {
 		ch := &channel{
 			pool:   sim.NewPool(fmt.Sprintf("ssd:%s:ch%d", cfg.Name, c), 1),
@@ -157,6 +161,37 @@ func New(cfg Config) *Drive {
 // (GC migration) is not subject to injection — the request-level fault
 // is the unit callers retry. A nil injector disables injection.
 func (d *Drive) SetFaultInjector(fi *fault.Injector) { d.faults = fi }
+
+// SetRecorder attaches an observability recorder and registers one trace
+// lane per NAND channel. Recording stamps every page program, read, GC
+// migration, and erase in virtual time; a nil recorder leaves the drive
+// exactly as fast and exactly as deterministic as before.
+func (d *Drive) SetRecorder(r *obs.Recorder) {
+	d.rec = r
+	if r == nil {
+		d.chLanes = nil
+		return
+	}
+	d.chLanes = make([]obs.Lane, len(d.chans))
+	for c := range d.chans {
+		d.chLanes[c] = r.Lane("ssd", fmt.Sprintf("ch%d", c))
+	}
+}
+
+// MarkJournalRegion tells the drive that logical pages >= firstPage belong
+// to the dedup journal, so journal programs get their own span name in the
+// trace ("journal" vs "program") and the §4 host-I/O-vs-journal competition
+// on the channels is visible. A negative firstPage clears the region.
+func (d *Drive) MarkJournalRegion(firstPage int64) { d.journalBase = firstPage }
+
+// lane returns the trace lane for channel ci, or the inert zero Lane when
+// no recorder is attached.
+func (d *Drive) lane(ci int) obs.Lane {
+	if ci < len(d.chLanes) {
+		return d.chLanes[ci]
+	}
+	return obs.Lane{}
+}
 
 // PhysicalPages returns the drive's raw page count.
 func (d *Drive) PhysicalPages() int64 {
@@ -200,6 +235,7 @@ func (d *Drive) Write(at time.Duration, lpn int64, n int) (time.Duration, error)
 	// nothing (the controller rejected it), so a retry re-issues it whole.
 	if err := d.faults.WriteError(); err != nil {
 		d.stats.WriteFaults++
+		d.rec.Instant(d.lane(d.next), "write-error", at)
 		return at, fmt.Errorf("ssd: write [%d,%d): %w", lpn, lpn+int64(n), err)
 	}
 	if spike := d.faults.Latency(); spike > 0 {
@@ -228,6 +264,7 @@ func (d *Drive) WriteBytes(at time.Duration, lpn int64, n int) (time.Duration, e
 func (d *Drive) Read(at time.Duration, lpn int64, n int) (time.Duration, error) {
 	if err := d.faults.ReadError(); err != nil {
 		d.stats.ReadFaults++
+		d.rec.Instant(d.lane(d.chanFor(lpn)), "read-error", at)
 		return at, fmt.Errorf("ssd: read [%d,%d): %w", lpn, lpn+int64(n), err)
 	}
 	if spike := d.faults.Latency(); spike > 0 {
@@ -236,8 +273,10 @@ func (d *Drive) Read(at time.Duration, lpn int64, n int) (time.Duration, error) 
 	}
 	end := at
 	for i := 0; i < n; i++ {
-		ch := d.chans[d.chanFor(lpn+int64(i))]
-		_, e := ch.pool.Acquire(at, d.ReadLatency)
+		ci := d.chanFor(lpn + int64(i))
+		ch := d.chans[ci]
+		s, e := ch.pool.Acquire(at, d.ReadLatency)
+		d.rec.Span(d.lane(ci), "read", s, e)
 		d.stats.NANDReadPages++
 		d.stats.HostReadPages++
 		end = sim.MaxTime(end, e)
@@ -323,7 +362,17 @@ func (d *Drive) program(at time.Duration, ci int, ch *channel, lpn int64, host b
 	if err != nil {
 		return at, err
 	}
-	_, end := ch.pool.Acquire(at, d.ProgramLatency)
+	start, end := ch.pool.Acquire(at, d.ProgramLatency)
+	if d.rec != nil {
+		name := "gc-program"
+		if host {
+			name = "program"
+			if d.journalBase >= 0 && lpn >= d.journalBase {
+				name = "journal"
+			}
+		}
+		d.rec.Span(d.lane(ci), name, start, end)
+	}
 	b := &ch.blocks[blk]
 	b.state[page] = pageState{lpn: lpn, valid: true}
 	b.valid++
@@ -374,7 +423,8 @@ func (d *Drive) collect(at time.Duration, ci int, ch *channel) {
 			if !st.valid {
 				continue
 			}
-			ch.pool.Acquire(at, d.ReadLatency)
+			rs, re := ch.pool.Acquire(at, d.ReadLatency)
+			d.rec.Span(d.lane(ci), "gc-read", rs, re)
 			d.stats.NANDReadPages++
 			vb.state[p].valid = false
 			vb.valid--
@@ -382,7 +432,8 @@ func (d *Drive) collect(at time.Duration, ci int, ch *channel) {
 				return
 			}
 		}
-		ch.pool.Acquire(at, d.EraseLatency)
+		es, ee := ch.pool.Acquire(at, d.EraseLatency)
+		d.rec.Span(d.lane(ci), "erase", es, ee)
 		d.stats.Erases++
 		vb.erases++
 		vb.nextFree = 0

@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -12,20 +14,46 @@ import (
 // Report summarizes a replay: per-op-type counts and virtual latency
 // percentiles, the volume's space accounting, and cleaning activity.
 type Report struct {
-	Ops                  int
-	Writes, Reads, Trims int64
-	Elapsed              time.Duration
+	Ops     int           `json:"ops"`
+	Writes  int64         `json:"writes"`
+	Reads   int64         `json:"reads"`
+	Trims   int64         `json:"trims"`
+	Elapsed time.Duration `json:"elapsed_ns"`
 
-	WriteLat Latency
-	ReadLat  Latency
+	WriteLat Latency `json:"write_lat"`
+	ReadLat  Latency `json:"read_lat"`
+	TrimLat  Latency `json:"trim_lat"`
 
-	Volume volume.Stats
-	Cleans int
+	Volume volume.Stats `json:"volume"`
+	Cleans int          `json:"cleans"`
 }
 
-// Latency holds latency percentiles in microseconds.
+// Latency holds latency percentiles in microseconds (exact quantiles over
+// every sample, unlike the volume's log-bucketed histograms).
 type Latency struct {
-	P50, P90, P99, Mean float64
+	P50  float64 `json:"p50_us"`
+	P90  float64 `json:"p90_us"`
+	P99  float64 `json:"p99_us"`
+	Mean float64 `json:"mean_us"`
+}
+
+// ReportSchema versions the replay report envelope.
+const ReportSchema = "inlinered/trace-report/v1"
+
+// JSON encodes the report as stable, indented JSON with a schema envelope,
+// mirroring core.Report.JSON.
+func (r *Report) JSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	env := struct {
+		Schema string  `json:"schema"`
+		Report *Report `json:"report"`
+	}{ReportSchema, r}
+	if err := enc.Encode(env); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 func latencyOf(q *sim.Quantiles, s *sim.Stats) Latency {
@@ -51,8 +79,8 @@ type ReplayOptions struct {
 // replays are reproducible and dedup behaviour follows the trace.
 func Replay(vol *volume.Volume, recs []Record, cfg volume.Config, opts ReplayOptions) (*Report, error) {
 	rep := &Report{Ops: len(recs)}
-	var wq, rq sim.Quantiles
-	var ws, rs sim.Stats
+	var wq, rq, tq sim.Quantiles
+	var ws, rs, ts sim.Stats
 	start := vol.Now()
 	for i, rec := range recs {
 		switch rec.Op {
@@ -74,10 +102,13 @@ func Replay(vol *volume.Volume, recs []Record, cfg volume.Config, opts ReplayOpt
 			rq.Add(lat.Seconds())
 			rs.Add(lat.Seconds())
 		case OpTrim:
-			if err := vol.Trim(rec.LBA); err != nil {
+			lat, err := vol.Trim(rec.LBA)
+			if err != nil {
 				return nil, fmt.Errorf("trace: op %d: %w", i, err)
 			}
 			rep.Trims++
+			tq.Add(lat.Seconds())
+			ts.Add(lat.Seconds())
 		default:
 			return nil, fmt.Errorf("trace: op %d: unknown op %q", i, rec.Op)
 		}
@@ -92,6 +123,7 @@ func Replay(vol *volume.Volume, recs []Record, cfg volume.Config, opts ReplayOpt
 	rep.Elapsed = vol.Now() - start
 	rep.WriteLat = latencyOf(&wq, &ws)
 	rep.ReadLat = latencyOf(&rq, &rs)
+	rep.TrimLat = latencyOf(&tq, &ts)
 	rep.Volume = vol.Stats()
 	return rep, nil
 }
@@ -102,10 +134,12 @@ func (r *Report) String() string {
 		"ops=%d (w=%d r=%d t=%d) elapsed=%v cleans=%d\n"+
 			"  write latency µs: p50=%.0f p90=%.0f p99=%.0f mean=%.0f\n"+
 			"  read  latency µs: p50=%.0f p90=%.0f p99=%.0f mean=%.0f\n"+
+			"  trim  latency µs: p50=%.0f p90=%.0f p99=%.0f mean=%.0f\n"+
 			"  space: logical=%d stored=%d garbage=%d reduction=%.2fx dedup hits=%d",
 		r.Ops, r.Writes, r.Reads, r.Trims, r.Elapsed.Round(time.Millisecond), r.Cleans,
 		r.WriteLat.P50, r.WriteLat.P90, r.WriteLat.P99, r.WriteLat.Mean,
 		r.ReadLat.P50, r.ReadLat.P90, r.ReadLat.P99, r.ReadLat.Mean,
+		r.TrimLat.P50, r.TrimLat.P90, r.TrimLat.P99, r.TrimLat.Mean,
 		r.Volume.LogicalBytes, r.Volume.StoredBytes, r.Volume.GarbageBytes,
 		r.Volume.ReductionRatio(), r.Volume.DedupHits)
 }

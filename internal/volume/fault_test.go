@@ -25,7 +25,7 @@ func faultConfig() Config {
 
 func TestTrimNeverWrittenLBA(t *testing.T) {
 	v := newVolume(t, smallConfig())
-	if err := v.Trim(5); err != nil {
+	if _, err := v.Trim(5); err != nil {
 		t.Fatal(err)
 	}
 	st := v.Stats()
@@ -85,7 +85,7 @@ func TestAllocOutOfSpaceAndCleanOnFullDrive(t *testing.T) {
 	// Cleaning a full drive with live data everywhere has no headroom to
 	// move blobs into: it must fail gracefully, not corrupt.
 	for lba := int64(0); lba < written; lba += 2 {
-		if err := v.Trim(lba); err != nil {
+		if _, err := v.Trim(lba); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -99,7 +99,7 @@ func TestAllocOutOfSpaceAndCleanOnFullDrive(t *testing.T) {
 	// Dropping the rest makes whole segments dead; cleaning then reclaims
 	// them and the volume accepts writes again.
 	for lba := int64(1); lba < written; lba += 2 {
-		if err := v.Trim(lba); err != nil {
+		if _, err := v.Trim(lba); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -176,7 +176,7 @@ func TestVolumeFaultDeterminism(t *testing.T) {
 					t.Fatal(err)
 				}
 			case 4:
-				if err := v.Trim(lba); err != nil {
+				if _, err := v.Trim(lba); err != nil {
 					t.Fatal(err)
 				}
 			case 5:

@@ -1,0 +1,96 @@
+package volume
+
+import (
+	"bytes"
+	"testing"
+
+	"inlinered/internal/obs"
+	"inlinered/internal/sim"
+)
+
+func checkSummary(t *testing.T, name string, s sim.LatencySummary, wantCount int64) {
+	t.Helper()
+	if s.Count != wantCount {
+		t.Errorf("%s: count = %d, want %d", name, s.Count, wantCount)
+	}
+	if s.Min > s.Mean || s.Mean > s.Max {
+		t.Errorf("%s: min/mean/max not ordered: %+v", name, s)
+	}
+	if !(s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+		t.Errorf("%s: quantiles not monotone: %+v", name, s)
+	}
+}
+
+// TestStatsLatencySummaries checks the always-on per-op histograms: counts
+// track the operations issued, summaries are ordered, and trims charge real
+// virtual time.
+func TestStatsLatencySummaries(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Index.BufferEntries = 1 // every insert flushes, so journal latency is observed
+	v := newVolume(t, cfg)
+	const n = 64
+	for i := 0; i < n; i++ {
+		if _, err := v.Write(int64(i), block(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, _, err := v.Read(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		lat, err := v.Trim(int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lat <= 0 {
+			t.Errorf("trim %d: latency %v, want > 0", i, lat)
+		}
+	}
+	st := v.Stats()
+	checkSummary(t, "write", st.WriteLat, n)
+	checkSummary(t, "read", st.ReadLat, n)
+	checkSummary(t, "trim", st.TrimLat, 8)
+	if st.WriteLat.Max <= 0 || st.ReadLat.Max <= 0 || st.TrimLat.Max <= 0 {
+		t.Errorf("zero max latency: w=%+v r=%+v t=%+v", st.WriteLat, st.ReadLat, st.TrimLat)
+	}
+	if st.JournalFlushLat.Count == 0 {
+		t.Errorf("no journal flushes observed: %+v", st.JournalFlushLat)
+	}
+}
+
+// TestVolumeTraceDeterministic drives two identical volumes, one op mix
+// each, and requires bit-identical trace exports.
+func TestVolumeTraceDeterministic(t *testing.T) {
+	runOnce := func() []byte {
+		cfg := smallConfig()
+		rec := obs.NewRecorder()
+		cfg.Obs = rec
+		v := newVolume(t, cfg)
+		for i := 0; i < 32; i++ {
+			if _, err := v.Write(int64(i), block(i%8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 16; i++ {
+			if _, _, err := v.Read(int64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := v.Trim(3); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rec.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Spans() == 0 {
+			t.Fatal("no spans recorded")
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(runOnce(), runOnce()) {
+		t.Error("identical volume runs produced different trace bytes")
+	}
+}

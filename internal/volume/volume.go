@@ -27,6 +27,8 @@ import (
 	"inlinered/internal/dedup"
 	"inlinered/internal/fault"
 	"inlinered/internal/lz"
+	"inlinered/internal/obs"
+	"inlinered/internal/sim"
 	"inlinered/internal/ssd"
 )
 
@@ -52,6 +54,12 @@ type Config struct {
 	// index journal, and the index. The zero value injects nothing and
 	// leaves the volume bit-identical to a build without injection.
 	Faults fault.Config
+	// Obs attaches an observability recorder: one trace lane for the
+	// request stream plus lanes for the virtual CPU threads and NAND
+	// channels, all stamped in virtual time. A recorder should serve one
+	// Volume (or one core.Engine) — the lanes map onto that instance's
+	// simulated resources. Nil means off.
+	Obs *obs.Recorder
 }
 
 // DefaultConfig returns a small-testbed volume: 4 KB blocks on the paper's
@@ -110,30 +118,40 @@ type logCursor struct {
 
 // Stats reports volume space and activity accounting.
 type Stats struct {
-	Writes, Reads, Trims int64
-	DedupHits            int64
-	CacheHits            int64
-	LogicalBytes         int64 // live user data (mapped blocks × block size)
-	StoredBytes          int64 // live compressed bytes in the log
-	LogBytes             int64 // total log bytes appended (live + dead)
-	GarbageBytes         int64 // dead bytes awaiting cleaning
-	CleanRuns            int64
-	MovedBytes           int64 // live bytes rewritten by the cleaner
+	Writes       int64 `json:"writes"`
+	Reads        int64 `json:"reads"`
+	Trims        int64 `json:"trims"`
+	DedupHits    int64 `json:"dedup_hits"`
+	CacheHits    int64 `json:"cache_hits"`
+	LogicalBytes int64 `json:"logical_bytes"` // live user data (mapped blocks × block size)
+	StoredBytes  int64 `json:"stored_bytes"`  // live compressed bytes in the log
+	LogBytes     int64 `json:"log_bytes"`     // total log bytes appended (live + dead)
+	GarbageBytes int64 `json:"garbage_bytes"` // dead bytes awaiting cleaning
+	CleanRuns    int64 `json:"clean_runs"`
+	MovedBytes   int64 `json:"moved_bytes"` // live bytes rewritten by the cleaner
+
+	// Per-operation virtual latency digests (always on: the closed-loop
+	// volume is latency-oriented, so every request contributes a sample).
+	// Unmapped reads count at zero latency — they never touch media.
+	WriteLat        sim.LatencySummary `json:"write_lat"`
+	ReadLat         sim.LatencySummary `json:"read_lat"`
+	TrimLat         sim.LatencySummary `json:"trim_lat"`
+	JournalFlushLat sim.LatencySummary `json:"journal_flush_lat"`
 
 	// Index journal accounting (the durable form of bin-buffer flushes,
 	// destaged sequentially to the journal region).
-	JournalRecords int64
-	JournalBytes   int64
+	JournalRecords int64 `json:"journal_records"`
+	JournalBytes   int64 `json:"journal_bytes"`
 
 	// Fault-injection accounting. All zero when Config.Faults is the zero
 	// value, keeping rate-0 stats bit-identical to a build without
 	// injection.
-	SSDWriteRetries      int64 // transient write errors cleared by retry
-	SSDReadRetries       int64 // transient read errors cleared by retry
-	LatencySpikes        int64 // injected latency spikes absorbed
-	JournalTornRecords   int64 // flush records torn mid-write
-	JournalWriteFailures int64 // permanent journal-write failures (journaling degraded off)
-	IndexEvictions       int64 // entries evicted by injected memory pressure
+	SSDWriteRetries      int64 `json:"ssd_write_retries"`      // transient write errors cleared by retry
+	SSDReadRetries       int64 `json:"ssd_read_retries"`       // transient read errors cleared by retry
+	LatencySpikes        int64 `json:"latency_spikes"`         // injected latency spikes absorbed
+	JournalTornRecords   int64 `json:"journal_torn_records"`   // flush records torn mid-write
+	JournalWriteFailures int64 `json:"journal_write_failures"` // permanent journal-write failures (journaling degraded off)
+	IndexEvictions       int64 `json:"index_evictions"`        // entries evicted by injected memory pressure
 }
 
 // ReductionRatio reports logical bytes per stored byte.
@@ -174,6 +192,16 @@ type Volume struct {
 	faults *fault.Injector // nil when injection is off
 
 	cache *blockCache
+
+	// Observability. Latency histograms are always on (the closed-loop
+	// volume exists to measure latency); span recording needs Config.Obs.
+	obs      *obs.Recorder
+	laneOps  obs.Lane   // one lane for the sequential request stream
+	cpuLanes []obs.Lane // one lane per virtual CPU thread
+	histW    sim.Histogram
+	histR    sim.Histogram
+	histT    sim.Histogram
+	histJF   sim.Histogram
 
 	now   time.Duration // closed-loop clock: completion of the last request
 	stats Stats
@@ -220,7 +248,27 @@ func New(cfg Config) (*Volume, error) {
 		v.drive.SetFaultInjector(v.faults)
 		v.index.SetFaultInjector(v.faults)
 	}
+	if cfg.Obs != nil {
+		v.obs = cfg.Obs
+		v.laneOps = cfg.Obs.Lane("volume", "ops")
+		v.cpuLanes = make([]obs.Lane, v.cpu.Pool.Servers())
+		for i := range v.cpuLanes {
+			v.cpuLanes[i] = cfg.Obs.Lane("cpu", fmt.Sprintf("t%d", i))
+		}
+		v.drive.SetRecorder(cfg.Obs)
+		v.drive.MarkJournalRegion(v.journalBase)
+	}
 	return v, nil
+}
+
+// cpuSpan records one committed CPU job on the trace lane of the virtual
+// hardware thread that ran it. Must be called immediately after the
+// v.cpu.Run that scheduled the job.
+func (v *Volume) cpuSpan(name string, start, end time.Duration) {
+	if v.obs == nil {
+		return
+	}
+	v.obs.Span(v.cpuLanes[v.cpu.Pool.LastServer()], name, start, end)
 }
 
 // Now returns the volume's virtual clock (completion time of the last
@@ -230,6 +278,10 @@ func (v *Volume) Now() time.Duration { return v.now }
 // Stats returns space and activity accounting.
 func (v *Volume) Stats() Stats {
 	st := v.stats
+	st.WriteLat = v.histW.Summary()
+	st.ReadLat = v.histR.Summary()
+	st.TrimLat = v.histT.Summary()
+	st.JournalFlushLat = v.histJF.Summary()
 	st.JournalRecords = int64(v.journal.Records())
 	st.JournalTornRecords = int64(v.journal.TornRecords())
 	st.LatencySpikes = v.drive.Stats().LatencySpikes
@@ -315,6 +367,7 @@ func (v *Volume) journalFlush(at time.Duration, f *dedup.Flush) time.Duration {
 		v.stats.JournalWriteFailures++
 		return at
 	}
+	v.histJF.Observe(end - at)
 	v.journal.Append(f)
 	return end
 }
@@ -361,9 +414,11 @@ func (v *Volume) Write(lba int64, data []byte) (time.Duration, error) {
 
 	// Fingerprint + index probe (Figure 1's CPU path).
 	fp := dedup.Sum(data)
-	_, t := v.cpu.Run(v.now, cost.ChunkCycles(len(data))+cost.HashCycles(len(data))+cost.StageOverheadCycles)
+	cs, t := v.cpu.Run(v.now, cost.ChunkCycles(len(data))+cost.HashCycles(len(data))+cost.StageOverheadCycles)
+	v.cpuSpan("chunk+hash", cs, t)
 	p := v.index.Lookup(fp)
-	_, t = v.cpu.Run(t, cost.ProbeCycles(p.BufferScanned, p.TreeSteps))
+	ps, t := v.cpu.Run(t, cost.ProbeCycles(p.BufferScanned, p.TreeSteps))
+	v.cpuSpan("probe", ps, t)
 
 	// The chunk store is authoritative for the duplicate decision (the
 	// probe above charges the index work); a stored chunk is referenced
@@ -375,10 +430,12 @@ func (v *Volume) Write(lba int64, data []byte) (time.Duration, error) {
 		// Unique: compress, append to the log, then index it.
 		var blob []byte
 		var cycles float64
+		spanName := "store-raw"
 		if v.cfg.Compress {
 			var st lz.Stats
 			blob, st = lz.CompressCodec(v.cfg.Codec, nil, data, v.cfg.LZ)
 			cycles = cost.CompressCycles(st.Positions, st.SearchSteps, st.DstBytes)
+			spanName = "compress"
 		} else {
 			blob = lz.StoreRaw(nil, data)
 			cycles = cost.MemcpyCycles(len(blob))
@@ -387,7 +444,9 @@ func (v *Volume) Write(lba int64, data []byte) (time.Duration, error) {
 		if err != nil {
 			return 0, err
 		}
-		_, t = v.cpu.Run(t, cycles+cost.StageOverheadCycles)
+		var zs time.Duration
+		zs, t = v.cpu.Run(t, cycles+cost.StageOverheadCycles)
+		v.cpuSpan(spanName, zs, t)
 		// Crash-consistent ordering: the data lands in the log before any
 		// index or journal record can point at it.
 		t, err = v.appendBlob(t, fp, loc, blob)
@@ -399,7 +458,9 @@ func (v *Volume) Write(lba int64, data []byte) (time.Duration, error) {
 		if ir.Flush != nil {
 			icycles += float64(ir.Flush.TreeSteps) * cost.TreeStepCycles
 		}
-		_, t = v.cpu.Run(t, icycles)
+		var is time.Duration
+		is, t = v.cpu.Run(t, icycles)
+		v.cpuSpan("insert", is, t)
 		if ir.Flush != nil {
 			t = v.journalFlush(t, ir.Flush)
 		}
@@ -415,6 +476,10 @@ func (v *Volume) Write(lba int64, data []byte) (time.Duration, error) {
 	v.lbaMap[lba] = fp
 	v.stats.Writes++
 	v.now = t
+	v.histW.Observe(t - start)
+	if v.obs != nil {
+		v.obs.SpanN(v.laneOps, "write", start, t, "lba", lba)
+	}
 	return t - start, nil
 }
 
@@ -506,15 +571,21 @@ func (v *Volume) Read(lba int64) ([]byte, time.Duration, error) {
 	if !ok {
 		// Unmapped: the array synthesizes zeros without touching media.
 		v.stats.Reads++
+		v.histR.Observe(0)
 		return make([]byte, v.cfg.BlockSize), 0, nil
 	}
 	// Content-addressed cache: a hit skips the SSD and the decoder, paying
 	// one staging copy.
 	if data := v.cache.get(fp); data != nil {
-		_, t := v.cpu.Run(v.now, v.cpu.Cost.MemcpyCycles(len(data))+v.cpu.Cost.StageOverheadCycles)
+		ms, t := v.cpu.Run(v.now, v.cpu.Cost.MemcpyCycles(len(data))+v.cpu.Cost.StageOverheadCycles)
+		v.cpuSpan("cache-copy", ms, t)
 		v.stats.Reads++
 		v.stats.CacheHits++
 		v.now = t
+		v.histR.Observe(t - start)
+		if v.obs != nil {
+			v.obs.SpanN(v.laneOps, "read", start, t, "lba", lba)
+		}
 		out := make([]byte, len(data))
 		copy(out, data)
 		return out, t - start, nil
@@ -535,25 +606,40 @@ func (v *Volume) Read(lba int64) ([]byte, time.Duration, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("volume: lba %d: %w", lba, err)
 	}
-	_, t = v.cpu.Run(t, v.cpu.Cost.DecompressCycles(len(out))+v.cpu.Cost.StageOverheadCycles)
+	ds, t := v.cpu.Run(t, v.cpu.Cost.DecompressCycles(len(out))+v.cpu.Cost.StageOverheadCycles)
+	v.cpuSpan("decompress", ds, t)
 	v.cache.put(fp, out)
 	v.stats.Reads++
 	v.now = t
+	v.histR.Observe(t - start)
+	if v.obs != nil {
+		v.obs.SpanN(v.laneOps, "read", start, t, "lba", lba)
+	}
 	return out, t - start, nil
 }
 
-// Trim unmaps a block, releasing its chunk reference.
-func (v *Volume) Trim(lba int64) error {
+// Trim unmaps a block, releasing its chunk reference, and returns the
+// request's virtual latency (one FTL metadata update on the CPU — no NAND
+// time, but a real request in the closed loop).
+func (v *Volume) Trim(lba int64) (time.Duration, error) {
 	if lba < 0 || lba >= v.cfg.Blocks {
-		return fmt.Errorf("volume: lba %d outside [0,%d)", lba, v.cfg.Blocks)
+		return 0, fmt.Errorf("volume: lba %d outside [0,%d)", lba, v.cfg.Blocks)
 	}
+	start := v.now
+	ts, t := v.cpu.Run(v.now, v.cpu.Cost.StageOverheadCycles)
+	v.cpuSpan("trim", ts, t)
 	if fp, ok := v.lbaMap[lba]; ok {
 		delete(v.lbaMap, lba)
 		v.deref(fp)
 		v.stats.LogicalBytes -= int64(v.cfg.BlockSize)
 	}
 	v.stats.Trims++
-	return nil
+	v.now = t
+	v.histT.Observe(t - start)
+	if v.obs != nil {
+		v.obs.SpanN(v.laneOps, "trim", start, t, "lba", lba)
+	}
+	return t - start, nil
 }
 
 // Clean compacts log segments whose garbage fraction exceeds the threshold:
@@ -634,7 +720,12 @@ func (v *Volume) cleanSegment(i int) error {
 		ns.used += int64(ref.size)
 		v.stats.MovedBytes += int64(ref.size)
 		v.stats.LogBytes += int64(ref.size)
-		_, t = v.cpu.Run(t, v.cpu.Cost.MemcpyCycles(len(blob)))
+		var mvs time.Duration
+		mvs, t = v.cpu.Run(t, v.cpu.Cost.MemcpyCycles(len(blob)))
+		v.cpuSpan("gc-copy", mvs, t)
+	}
+	if v.obs != nil {
+		v.obs.SpanN(v.laneOps, "clean-segment", v.now, t, "segment", int64(i))
 	}
 	seg := &v.segments[i]
 	v.stats.GarbageBytes -= seg.used - seg.live

@@ -106,7 +106,7 @@ func TestBoundsChecking(t *testing.T) {
 	if _, _, err := v.Read(-1); err == nil {
 		t.Fatal("negative read accepted")
 	}
-	if err := v.Trim(1 << 40); err == nil {
+	if _, err := v.Trim(1 << 40); err == nil {
 		t.Fatal("out-of-range trim accepted")
 	}
 }
@@ -169,7 +169,7 @@ func TestOverwriteSharedChunkKeepsIt(t *testing.T) {
 func TestTrim(t *testing.T) {
 	v := newVolume(t, smallConfig())
 	v.Write(0, block(1))
-	if err := v.Trim(0); err != nil {
+	if _, err := v.Trim(0); err != nil {
 		t.Fatal(err)
 	}
 	st := v.Stats()
@@ -183,7 +183,7 @@ func TestTrim(t *testing.T) {
 		}
 	}
 	// Idempotent.
-	if err := v.Trim(0); err != nil {
+	if _, err := v.Trim(0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -271,7 +271,7 @@ func TestVolumeMatchesReferenceModel(t *testing.T) {
 			}
 			ref[lba] = data
 		case 6: // trim
-			if err := v.Trim(lba); err != nil {
+			if _, err := v.Trim(lba); err != nil {
 				t.Fatal(err)
 			}
 			delete(ref, lba)

@@ -11,6 +11,9 @@
 # Usage:
 #   scripts/bench-compare.sh            # compare against bench_baseline.txt
 #   scripts/bench-compare.sh --record   # rewrite bench_baseline.txt
+#
+# Set PROFILE_DIR to also capture host pprof profiles of the benchmark run
+# (cpu.pprof and mem.pprof are written there, for go tool pprof).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,8 +27,15 @@ COUNT="${BENCH_COUNT:-5}"
 TIME_TOLERANCE_PCT="${TIME_TOLERANCE_PCT:-25}"
 ALLOC_TOLERANCE_PCT="${ALLOC_TOLERANCE_PCT:-10}"
 
+PROFILE_ARGS=()
+if [[ -n "${PROFILE_DIR:-}" ]]; then
+    mkdir -p "$PROFILE_DIR"
+    PROFILE_ARGS=(-cpuprofile "$PROFILE_DIR/cpu.pprof" -memprofile "$PROFILE_DIR/mem.pprof")
+fi
+
 run_bench() {
-    go test . -run '^$' -bench "$BENCH" -benchtime 2x -count "$COUNT" -timeout 30m
+    go test . -run '^$' -bench "$BENCH" -benchtime 2x -count "$COUNT" -timeout 30m \
+        "${PROFILE_ARGS[@]}"
 }
 
 if [[ "${1:-}" == "--record" ]]; then
