@@ -104,6 +104,67 @@ func BenchmarkDataPlaneWallClock(b *testing.B) {
 	}
 }
 
+// BenchmarkServeWallClock measures the real (host) cost of serving a fixed
+// closed-loop op mix through the sharded front-end. The /shards1 case is a
+// single volume drained by one client; /shards4 routes the same mix across
+// four shards drained by four concurrent clients. The merged reports are
+// bit-identical across the cases' client counts (see
+// TestServeMergeDeterminism); only the wall clock differs. Two effects
+// compose: shards serve concurrently (toward a 4× speedup on a
+// multi-core host; pure goroutine overhead on a single-core one), and
+// independent shards cannot dedup across each other, so /shards4 does
+// more real encoding work at a fixed dedup ratio. Array construction is
+// excluded from the timed region (it allocates each shard's drive,
+// cache, and index up front). scripts/bench-compare.sh guards both
+// cases against regression.
+func BenchmarkServeWallClock(b *testing.B) {
+	ops := 30000
+	if testing.Short() {
+		ops = 8000
+	}
+	const blocks = 8192
+	list, err := NewOps(OpsSpec{
+		Ops: ops, Blocks: blocks, WriteFrac: 0.6, TrimFrac: 0.05,
+		DedupRatio: 2, Hotspot: 0.5, Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		shards  int
+		clients int
+	}{
+		{"shards1", 1, 1},
+		{"shards4", 4, 4},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.SetBytes(int64(len(list)) * 4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				arr, err := NewArray(BlockDeviceOptions{
+					Blocks: blocks, Shards: bc.shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				rep, err := arr.Serve(list, ServeOptions{
+					Clients: bc.clients, ContentSeed: 11, CleanEvery: 4096,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Ops == 0 {
+					b.Fatal("empty report")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE1PrelimIndexing — §3.1(3): CPU vs GPU indexing time; paper: CPU
 // 4.16–5.45× faster with a kernel-launch floor on the GPU side.
 func BenchmarkE1PrelimIndexing(b *testing.B) {

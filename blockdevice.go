@@ -1,10 +1,13 @@
 package inlinered
 
 import (
+	"fmt"
 	"time"
 
 	"inlinered/internal/fault"
 	"inlinered/internal/lz"
+	"inlinered/internal/obs"
+	"inlinered/internal/serve"
 	"inlinered/internal/sim"
 	"inlinered/internal/volume"
 )
@@ -30,32 +33,22 @@ type BlockDeviceOptions struct {
 	// 0 disables injection; a fixed seed makes runs bit-identical.
 	FaultRate float64
 	FaultSeed int64
+	// Shards splits the device into that many independent volumes behind a
+	// goroutine-safe front-end: LBAs route by lba % Shards, each shard has
+	// its own virtual clock, fault stream, and journal region, and stats
+	// merge deterministically. 0 or 1 means a single volume (the device is
+	// goroutine-safe either way). See DESIGN.md "Sharded serving".
+	Shards int
 	// Recorder attaches an observability recorder (NewRecorder): every
 	// request, CPU job, and NAND operation records a virtual-time span, and
 	// the trace exports as Chrome trace-event JSON via Recorder.WriteTrace.
-	// One recorder should serve one device. Nil means off.
+	// One recorder serves one volume's lanes, so Recorder requires
+	// Shards <= 1. Nil means off.
 	Recorder *Recorder
 }
 
-// BlockDevice is an LBA-addressed deduplicating, compressing volume on the
-// virtual clock: writes run the inline reduction path, reads decompress (or
-// hit the content-addressed cache), overwrites and trims release chunk
-// references, and Clean compacts log segments. Closed-loop: each operation
-// reports its virtual latency.
-type BlockDevice struct {
-	inner *volume.Volume
-}
-
-// DeviceStats reports the device's space and activity accounting, including
-// always-on per-operation latency summaries (WriteLat, ReadLat, TrimLat).
-type DeviceStats = volume.Stats
-
-// LatencySummary condenses a latency histogram: count, min/mean/max, and
-// log-bucketed p50/p95/p99 (quantiles report a bucket's upper bound).
-type LatencySummary = sim.LatencySummary
-
-// NewBlockDevice builds a block device on the paper platform's CPU and SSD.
-func NewBlockDevice(opts BlockDeviceOptions) (*BlockDevice, error) {
+// serveConfig converts the options into the sharded front-end's config.
+func (opts BlockDeviceOptions) serveConfig() (serve.Config, error) {
 	cfg := volume.DefaultConfig()
 	if opts.BlockSize > 0 {
 		cfg.BlockSize = opts.BlockSize
@@ -75,8 +68,45 @@ func NewBlockDevice(opts BlockDeviceOptions) (*BlockDevice, error) {
 	if opts.FaultRate > 0 {
 		cfg.Faults = fault.Config{Seed: opts.FaultSeed, Rates: fault.Uniform(opts.FaultRate)}
 	}
-	cfg.Obs = opts.Recorder
-	inner, err := volume.New(cfg)
+	sc := serve.Config{Volume: cfg, Shards: opts.Shards}
+	if opts.Recorder != nil {
+		if opts.Shards > 1 {
+			return serve.Config{}, fmt.Errorf(
+				"inlinered: Recorder requires Shards <= 1 (a recorder serves one volume's lanes)")
+		}
+		sc.Obs = []*obs.Recorder{opts.Recorder}
+	}
+	return sc, nil
+}
+
+// BlockDevice is an LBA-addressed deduplicating, compressing volume on the
+// virtual clock: writes run the inline reduction path, reads decompress (or
+// hit the content-addressed cache), overwrites and trims release chunk
+// references, and Clean compacts log segments. Closed-loop: each operation
+// reports its virtual latency.
+//
+// The device is safe for concurrent use: it is backed by the sharded
+// serving front-end (1 shard by default; see BlockDeviceOptions.Shards),
+// and requests to the same shard serialize on its virtual clock.
+type BlockDevice struct {
+	inner *serve.Array
+}
+
+// DeviceStats reports the device's space and activity accounting, including
+// always-on per-operation latency summaries (WriteLat, ReadLat, TrimLat).
+type DeviceStats = volume.Stats
+
+// LatencySummary condenses a latency histogram: count, min/mean/max, and
+// log-bucketed p50/p95/p99 (quantiles report a bucket's upper bound).
+type LatencySummary = sim.LatencySummary
+
+// NewBlockDevice builds a block device on the paper platform's CPU and SSD.
+func NewBlockDevice(opts BlockDeviceOptions) (*BlockDevice, error) {
+	sc, err := opts.serveConfig()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := serve.New(sc)
 	if err != nil {
 		return nil, err
 	}
@@ -97,12 +127,21 @@ func (d *BlockDevice) Read(lba int64) ([]byte, time.Duration, error) {
 // request's virtual latency.
 func (d *BlockDevice) Trim(lba int64) (time.Duration, error) { return d.inner.Trim(lba) }
 
-// Clean compacts garbage-heavy log segments and returns how many were
-// reclaimed.
+// Clean compacts garbage-heavy log segments on every shard and returns how
+// many were reclaimed.
 func (d *BlockDevice) Clean() (int, error) { return d.inner.Clean() }
 
-// Stats returns space and activity accounting.
+// Stats returns space and activity accounting, merged across shards
+// (deterministically: counters sum and histogram buckets merge).
 func (d *BlockDevice) Stats() DeviceStats { return d.inner.Stats() }
 
-// Now returns the device's virtual clock.
+// ShardStats returns each shard's stats in shard order (one entry for an
+// unsharded device).
+func (d *BlockDevice) ShardStats() []DeviceStats { return d.inner.ShardStats() }
+
+// Shards returns the device's shard count (1 when unsharded).
+func (d *BlockDevice) Shards() int { return d.inner.Shards() }
+
+// Now returns the device's virtual clock: the slowest shard's completion
+// time.
 func (d *BlockDevice) Now() time.Duration { return d.inner.Now() }

@@ -9,6 +9,8 @@
 //	          [-no-dedup] [-no-compress] [-destage] [-seed N]
 //	          [-faults SEED:RATE] [-json] [-trace-out FILE]
 //	          [-cpuprofile FILE] [-memprofile FILE]
+//	reducerun -shards N [-clients C] [-serve-ops N] [-blocks N]
+//	          [-dedup R] [-seed N] [-faults SEED:RATE] [-json]
 //
 // With -mode auto, the dummy-I/O calibration pass of §4(3) picks the
 // fastest integration option for the platform first.
@@ -18,6 +20,12 @@
 // virtual-time spans, viewable in Perfetto or chrome://tracing. The trace
 // and report are bit-identical for any -par value at a fixed seed.
 // -cpuprofile/-memprofile capture host pprof profiles of the run itself.
+//
+// -shards switches from the stream pipeline to the sharded serving
+// front-end: a deterministic closed-loop op mix is served across N
+// independent volume shards by -clients concurrent workers. Client count
+// and GOMAXPROCS affect only the wall clock — the report is bit-identical
+// at a fixed seed and shard count.
 package main
 
 import (
@@ -50,6 +58,10 @@ func main() {
 	cdc := flag.Bool("cdc", false, "content-defined (Gear) chunking instead of fixed-size")
 	par := flag.Int("par", 0, "host worker threads for the real computation (0 = all cores, 1 = serial; results are identical)")
 	faults := flag.String("faults", "", "deterministic fault injection as SEED:RATE (e.g. 7:0.01); empty disables")
+	shards := flag.Int("shards", 0, "serve a closed-loop op mix across N volume shards instead of running the stream pipeline")
+	clients := flag.Int("clients", 0, "concurrent serving workers with -shards (0 = one per shard; report is identical for any value)")
+	serveOps := flag.Int("serve-ops", 20000, "closed-loop operations with -shards")
+	blocks := flag.Int64("blocks", 16384, "LBA space in blocks with -shards")
 	jsonOut := flag.Bool("json", false, "print the report as JSON on stdout (status goes to stderr)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file of the run's virtual-time spans")
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU pprof profile to this file")
@@ -78,6 +90,11 @@ func main() {
 			fatal(err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *shards > 0 {
+		runServe(*shards, *clients, *serveOps, *blocks, *dd, *seed, faultSeed, faultRate, *jsonOut, info)
+		return
 	}
 
 	plat := inlinered.PaperPlatform()
@@ -191,6 +208,50 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// runServe drives the sharded serving front-end with a deterministic
+// closed-loop op mix and prints the merged report.
+func runServe(shards, clients, ops int, blocks int64, dedup float64, seed, faultSeed int64, faultRate float64, jsonOut bool, info *os.File) {
+	arr, err := inlinered.NewArray(inlinered.BlockDeviceOptions{
+		Blocks:    blocks,
+		Shards:    shards,
+		FaultSeed: faultSeed,
+		FaultRate: faultRate,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	list, err := inlinered.NewOps(inlinered.OpsSpec{
+		Ops:        ops,
+		Blocks:     blocks,
+		WriteFrac:  0.6,
+		TrimFrac:   0.05,
+		DedupRatio: dedup,
+		Hotspot:    0.5,
+		Seed:       seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(info, "serving %d ops (plus %d-block fill) across %d shards\n\n", ops, blocks, shards)
+	rep, err := arr.Serve(list, inlinered.ServeOptions{
+		Clients:     clients,
+		ContentSeed: seed,
+		CleanEvery:  4096,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		out, err := rep.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(out)
+	} else {
+		fmt.Println(rep)
 	}
 }
 

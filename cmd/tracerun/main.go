@@ -9,10 +9,16 @@
 //	tracerun -ops 20000 -blocks 4096 -hotspot .8  # synthesize and replay
 //	tracerun -ops 10000 -emit trace.txt           # synthesize, save, replay
 //	tracerun -json -trace-out spans.json          # machine-readable outputs
+//	tracerun -shards 4 -clients 8                 # sharded serving front-end
 //
 // -json prints the replay report as stable JSON on stdout; -trace-out
 // writes a Chrome trace-event file of the volume's virtual-time spans.
 // -cpuprofile/-memprofile capture host pprof profiles of the replay.
+//
+// -shards N routes the trace across N independent volume shards behind the
+// goroutine-safe serving front-end, with -clients concurrent workers on the
+// wall clock; the report is bit-identical for any client count. -trace-out
+// requires -shards 1 (a recorder serves one volume's lanes).
 package main
 
 import (
@@ -23,8 +29,10 @@ import (
 	"runtime/pprof"
 
 	"inlinered/internal/obs"
+	"inlinered/internal/serve"
 	"inlinered/internal/trace"
 	"inlinered/internal/volume"
+	"inlinered/internal/workload"
 )
 
 func main() {
@@ -40,6 +48,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	noCompress := flag.Bool("no-compress", false, "disable compression")
 	jsonOut := flag.Bool("json", false, "print the replay report as JSON on stdout")
+	shards := flag.Int("shards", 1, "shard the volume N ways behind the serving front-end")
+	clients := flag.Int("clients", 0, "concurrent serving workers (0 = one per shard; report is identical for any value)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file of the replay's virtual-time spans")
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU pprof profile to this file")
 	memProfile := flag.String("memprofile", "", "write a host heap pprof profile to this file")
@@ -90,6 +100,40 @@ func main() {
 	cfg := volume.DefaultConfig()
 	cfg.Blocks = *blocks
 	cfg.Compress = !*noCompress
+
+	if *shards > 1 {
+		// Sharded serving front-end: route the trace across independent
+		// volume shards with concurrent workers.
+		if *traceOut != "" {
+			fatal(fmt.Errorf("-trace-out requires -shards 1 (a recorder serves one volume's lanes)"))
+		}
+		srvOps := make([]workload.Op, len(recs))
+		for i, r := range recs {
+			srvOps[i] = workload.Op{Kind: workload.OpKind(r.Op), LBA: r.LBA, Content: r.Content}
+		}
+		arr, err := serve.New(serve.Config{Volume: cfg, Shards: *shards})
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := arr.Serve(srvOps, serve.RunOptions{
+			Clients: *clients, ContentSeed: *seed, CleanEvery: *cleanEvery,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			out, err := rep.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			os.Stdout.Write(out)
+		} else {
+			fmt.Println(rep)
+		}
+		writeMemProfile(*memProfile)
+		return
+	}
+
 	var rec *obs.Recorder
 	if *traceOut != "" {
 		rec = obs.NewRecorder()
@@ -129,19 +173,24 @@ func main() {
 		fmt.Println(rep)
 	}
 
-	if *memProfile != "" {
-		f, err := os.Create(*memProfile)
-		if err != nil {
-			fatal(err)
-		}
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
+	writeMemProfile(*memProfile)
+}
+
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
 	}
 }
 

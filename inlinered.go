@@ -23,11 +23,13 @@ package inlinered
 
 import (
 	"io"
+	"time"
 
 	"inlinered/internal/core"
 	"inlinered/internal/fault"
 	"inlinered/internal/lz"
 	"inlinered/internal/obs"
+	"inlinered/internal/serve"
 	"inlinered/internal/workload"
 )
 
@@ -196,6 +198,105 @@ func Calibrate(plat Platform, opts Options, sampleBytes int64) (*CalibrationResu
 	}
 	return core.Calibrate(plat, opts.config(), sampleBytes)
 }
+
+// Op is one closed-loop block operation for Array.Serve. Write contents
+// derive from Op.Content (two writes with the same id carry identical
+// bytes), so op lists encode dedup behaviour without shipping payloads.
+type Op = workload.Op
+
+// OpKind is a closed-loop operation kind.
+type OpKind = workload.OpKind
+
+// The closed-loop operation kinds.
+const (
+	OpWrite = workload.OpWrite
+	OpRead  = workload.OpRead
+	OpTrim  = workload.OpTrim
+)
+
+// OpsSpec parameterizes the deterministic closed-loop op-mix generator: a
+// sequential fill of the LBA space followed by the requested
+// write/read/trim mix with optional hotspot and dedup knobs.
+type OpsSpec = workload.ClosedLoopSpec
+
+// NewOps generates a deterministic closed-loop op list for Array.Serve.
+func NewOps(spec OpsSpec) ([]Op, error) { return workload.ClosedLoop(spec) }
+
+// ServeOptions tune an Array.Serve run. Only Clients affects the wall
+// clock; the report is bit-identical for any client count.
+type ServeOptions = serve.RunOptions
+
+// ServeReport summarizes an Array.Serve run: merged stats (counters sum,
+// histogram buckets merge) plus a per-shard breakdown, under the
+// "inlinered/serve-report/v1" JSON schema. It excludes the client count and
+// every wall-clock quantity, so two runs that differ only in scheduling
+// encode to identical bytes.
+type ServeReport = serve.Report
+
+// Array is the sharded, goroutine-safe serving front-end over the
+// deduplicating volume: LBAs route across N independent volume shards
+// (lba % N), each with its own virtual clock, fault-injector stream, and
+// journal region, so concurrent clients drive shards in parallel on the
+// wall clock while every virtual-time result stays deterministic.
+//
+// Sharding parallelizes the wall clock, never the virtual one: at a fixed
+// FaultSeed and shard count, Serve's merged report and per-shard stats are
+// bit-identical for any client count and any GOMAXPROCS. The direct
+// Write/Read/Trim methods (via the embedded BlockDevice surface) are
+// goroutine-safe but interleave in arrival order, so only Serve promises
+// cross-run bit-identity.
+type Array struct {
+	inner *serve.Array
+}
+
+// NewArray builds a sharded array from block-device options (Shards > 1
+// requires Recorder to be nil: a recorder serves one volume's lanes).
+func NewArray(opts BlockDeviceOptions) (*Array, error) {
+	sc, err := opts.serveConfig()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := serve.New(sc)
+	if err != nil {
+		return nil, err
+	}
+	return &Array{inner: inner}, nil
+}
+
+// Serve executes a batch of operations across the shards with
+// opts.Clients concurrent workers and returns the merged report. Per-op
+// errors (injected faults) are counted in the report, not fatal.
+func (a *Array) Serve(ops []Op, opts ServeOptions) (*ServeReport, error) {
+	return a.inner.Serve(ops, opts)
+}
+
+// Write stores one block. Safe for concurrent use.
+func (a *Array) Write(lba int64, data []byte) (time.Duration, error) {
+	return a.inner.Write(lba, data)
+}
+
+// Read returns the block at lba (zeros when unmapped) and its latency.
+// Safe for concurrent use.
+func (a *Array) Read(lba int64) ([]byte, time.Duration, error) { return a.inner.Read(lba) }
+
+// Trim unmaps one block. Safe for concurrent use.
+func (a *Array) Trim(lba int64) (time.Duration, error) { return a.inner.Trim(lba) }
+
+// Clean runs every shard's segment cleaner.
+func (a *Array) Clean() (int, error) { return a.inner.Clean() }
+
+// Shards returns the shard count.
+func (a *Array) Shards() int { return a.inner.Shards() }
+
+// Now returns the array's virtual clock (the slowest shard's completion
+// time).
+func (a *Array) Now() time.Duration { return a.inner.Now() }
+
+// Stats returns deterministically merged stats across shards.
+func (a *Array) Stats() DeviceStats { return a.inner.Stats() }
+
+// ShardStats returns each shard's stats in shard order.
+func (a *Array) ShardStats() []DeviceStats { return a.inner.ShardStats() }
 
 // StreamSpec describes a synthetic workload stream (the vdbench stand-in):
 // both knobs the paper's evaluation uses, calibrated against this

@@ -217,3 +217,81 @@ func TestRecorderAndJSON(t *testing.T) {
 		t.Errorf("ParseMode(gpu-both) = %v, %v", m, err)
 	}
 }
+
+func TestArrayServeDeterminism(t *testing.T) {
+	ops, err := NewOps(OpsSpec{
+		Ops: 600, Blocks: 256, WriteFrac: 0.5, TrimFrac: 0.1,
+		DedupRatio: 2, Hotspot: 0.2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(clients int) []byte {
+		a, err := NewArray(BlockDeviceOptions{
+			Blocks: 4096, Shards: 4, FaultRate: 0.02, FaultSeed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := a.Serve(ops, ServeOptions{Clients: clients, ContentSeed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+	base := run(1)
+	for _, clients := range []int{4, 16} {
+		if !bytes.Equal(run(clients), base) {
+			t.Fatalf("serve report diverged at %d clients", clients)
+		}
+	}
+	var env struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(base, &env); err != nil || env.Schema != "inlinered/serve-report/v1" {
+		t.Fatalf("serve report envelope: schema=%q err=%v", env.Schema, err)
+	}
+}
+
+func TestArrayShardedRoundTrip(t *testing.T) {
+	a, err := NewArray(BlockDeviceOptions{Blocks: 1024, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Shards() != 4 {
+		t.Fatalf("shards = %d, want 4", a.Shards())
+	}
+	data := bytes.Repeat([]byte{7}, 4096)
+	for lba := int64(0); lba < 16; lba++ {
+		if _, err := a.Write(lba, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, err := a.Read(9)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip through shards failed: %v", err)
+	}
+	st := a.Stats()
+	if st.Writes != 16 || st.Reads != 1 {
+		t.Fatalf("merged stats: %+v", st)
+	}
+	if per := a.ShardStats(); len(per) != 4 {
+		t.Fatalf("shard stats entries: %d", len(per))
+	}
+}
+
+func TestRecorderRequiresSingleShard(t *testing.T) {
+	if _, err := NewArray(BlockDeviceOptions{Shards: 2, Recorder: NewRecorder()}); err == nil {
+		t.Fatal("Recorder with Shards > 1 must be rejected")
+	}
+	if _, err := NewBlockDevice(BlockDeviceOptions{Shards: 2, Recorder: NewRecorder()}); err == nil {
+		t.Fatal("BlockDevice Recorder with Shards > 1 must be rejected")
+	}
+	if _, err := NewBlockDevice(BlockDeviceOptions{Shards: 1, Recorder: NewRecorder()}); err != nil {
+		t.Fatalf("single-shard recorder rejected: %v", err)
+	}
+}

@@ -1,0 +1,431 @@
+// Package serve is the sharded, goroutine-safe serving front-end over the
+// deduplicating volume. A single volume.Volume is strictly single-threaded
+// — one caller, one virtual clock — which caps a multi-tenant array at one
+// outstanding request. serve routes LBAs across N independent volume shards
+// (lba % N picks the shard, lba / N is the shard-local address), each with
+// its own virtual clock, fault-injector stream, recorder lanes, and journal
+// region, so concurrent clients drive shards in parallel on the wall clock.
+//
+// Determinism contract: sharding parallelizes the WALL clock, never the
+// virtual one. Each shard's state is a pure function of (its op sequence,
+// its fault seed), and the batch Serve path fixes every shard's op sequence
+// up front — an order-preserving partition of the caller's op list — before
+// any goroutine runs. Workers claim whole shard queues, so scheduling
+// decides only WHEN a shard executes, never WHAT it executes. Merged
+// reports therefore compare bit-for-bit across GOMAXPROCS and client
+// counts at a fixed seed and shard count; only the shard count changes
+// results. The direct Write/Read/Trim methods are goroutine-safe (per-shard
+// mutexes) but interleave in arrival order, so only the batch path promises
+// bit-identity.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inlinered/internal/obs"
+	"inlinered/internal/sim"
+	"inlinered/internal/volume"
+	"inlinered/internal/workload"
+)
+
+// shardSeedStride separates per-shard fault streams: shard i injects from
+// Seed + i*stride. Shard 0 keeps the caller's seed unchanged, so a 1-shard
+// array reproduces a raw volume exactly.
+const shardSeedStride = 0x6A09E667F3BCC909
+
+// Config describes a sharded array.
+type Config struct {
+	// Volume is the per-array configuration. Blocks is the ARRAY's logical
+	// capacity; it is distributed across shards by the routing rule. Each
+	// shard gets its own drive, cache, index, and journal region (shards
+	// model independent backend volumes, so physical capacity scales with
+	// the shard count).
+	Volume volume.Config
+	// Shards is the number of independent volumes (0 means 1).
+	Shards int
+	// Obs optionally attaches one recorder per shard (a recorder serves
+	// exactly one volume's lanes). Length must be 0 or Shards.
+	Obs []*obs.Recorder
+}
+
+// shard pairs a volume with the mutex that serializes direct calls into it.
+type shard struct {
+	mu sync.Mutex
+	v  *volume.Volume
+}
+
+// Array is the sharded front-end. All methods are safe for concurrent use.
+type Array struct {
+	cfg    Config
+	blocks int64
+	shards []*shard
+}
+
+// New builds an array of cfg.Shards independent volumes.
+func New(cfg Config) (*Array, error) {
+	n := cfg.Shards
+	if n == 0 {
+		n = 1
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("serve: shards must be >= 1, got %d", n)
+	}
+	if int64(n) > cfg.Volume.Blocks {
+		return nil, fmt.Errorf("serve: %d shards over %d blocks leaves empty shards", n, cfg.Volume.Blocks)
+	}
+	if len(cfg.Obs) != 0 && len(cfg.Obs) != n {
+		return nil, fmt.Errorf("serve: need 0 or %d recorders, got %d", n, len(cfg.Obs))
+	}
+	a := &Array{cfg: cfg, blocks: cfg.Volume.Blocks, shards: make([]*shard, n)}
+	for i := 0; i < n; i++ {
+		vc := cfg.Volume
+		// Shard i owns the LBAs congruent to i mod n.
+		q, r := cfg.Volume.Blocks/int64(n), cfg.Volume.Blocks%int64(n)
+		vc.Blocks = q
+		if int64(i) < r {
+			vc.Blocks++
+		}
+		// Independent fault streams per shard; shard 0 keeps the original
+		// seed so the 1-shard array is bit-identical to a raw volume.
+		vc.Faults.Seed += int64(i) * shardSeedStride
+		vc.Obs = nil
+		if len(cfg.Obs) == n {
+			vc.Obs = cfg.Obs[i]
+		}
+		v, err := volume.New(vc)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		a.shards[i] = &shard{v: v}
+	}
+	return a, nil
+}
+
+// Shards returns the shard count.
+func (a *Array) Shards() int { return len(a.shards) }
+
+// Blocks returns the array's logical capacity in blocks.
+func (a *Array) Blocks() int64 { return a.blocks }
+
+// route maps an array LBA to its shard and shard-local LBA.
+func (a *Array) route(lba int64) (*shard, int64, error) {
+	if lba < 0 || lba >= a.blocks {
+		return nil, 0, fmt.Errorf("serve: lba %d outside [0,%d)", lba, a.blocks)
+	}
+	n := int64(len(a.shards))
+	return a.shards[lba%n], lba / n, nil
+}
+
+// Write stores one block. Safe for concurrent use; requests to the same
+// shard serialize on its virtual clock.
+func (a *Array) Write(lba int64, data []byte) (time.Duration, error) {
+	s, local, err := a.route(lba)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.v.Write(local, data)
+}
+
+// Read fetches one block (zeros when unmapped). Safe for concurrent use.
+func (a *Array) Read(lba int64) ([]byte, time.Duration, error) {
+	s, local, err := a.route(lba)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.v.Read(local)
+}
+
+// Trim unmaps one block. Safe for concurrent use.
+func (a *Array) Trim(lba int64) (time.Duration, error) {
+	s, local, err := a.route(lba)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.v.Trim(local)
+}
+
+// Clean runs every shard's segment cleaner and returns the total segments
+// reclaimed. The first error is returned after all shards have run.
+func (a *Array) Clean() (int, error) {
+	total := 0
+	var firstErr error
+	for _, s := range a.shards {
+		s.mu.Lock()
+		n, err := s.v.Clean()
+		s.mu.Unlock()
+		total += n
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return total, firstErr
+}
+
+// Now returns the array's virtual clock: the slowest shard's completion
+// time (shards run concurrently in simulated time, so the array is done
+// when its last shard is).
+func (a *Array) Now() time.Duration {
+	var now time.Duration
+	for _, s := range a.shards {
+		s.mu.Lock()
+		t := s.v.Now()
+		s.mu.Unlock()
+		if t > now {
+			now = t
+		}
+	}
+	return now
+}
+
+// ShardStats returns each shard's stats, in shard order.
+func (a *Array) ShardStats() []volume.Stats {
+	out := make([]volume.Stats, len(a.shards))
+	for i, s := range a.shards {
+		s.mu.Lock()
+		out[i] = s.v.Stats()
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Stats returns the merged array stats: counters sum, and the latency
+// summaries are recomputed from the merged per-shard histograms (bucket
+// counts are order-independent, so the merge is deterministic for any
+// shard enumeration).
+func (a *Array) Stats() volume.Stats {
+	var out volume.Stats
+	var hw, hr, ht, hjf sim.Histogram
+	for _, s := range a.shards {
+		s.mu.Lock()
+		st := s.v.Stats()
+		w, r, tr, jf := s.v.Histograms()
+		s.mu.Unlock()
+		out.Writes += st.Writes
+		out.Reads += st.Reads
+		out.Trims += st.Trims
+		out.DedupHits += st.DedupHits
+		out.CacheHits += st.CacheHits
+		out.LogicalBytes += st.LogicalBytes
+		out.StoredBytes += st.StoredBytes
+		out.LogBytes += st.LogBytes
+		out.GarbageBytes += st.GarbageBytes
+		out.CleanRuns += st.CleanRuns
+		out.MovedBytes += st.MovedBytes
+		out.JournalRecords += st.JournalRecords
+		out.JournalBytes += st.JournalBytes
+		out.SSDWriteRetries += st.SSDWriteRetries
+		out.SSDReadRetries += st.SSDReadRetries
+		out.LatencySpikes += st.LatencySpikes
+		out.JournalTornRecords += st.JournalTornRecords
+		out.JournalWriteFailures += st.JournalWriteFailures
+		out.IndexEvictions += st.IndexEvictions
+		hw.Merge(&w)
+		hr.Merge(&r)
+		ht.Merge(&tr)
+		hjf.Merge(&jf)
+	}
+	out.WriteLat = hw.Summary()
+	out.ReadLat = hr.Summary()
+	out.TrimLat = ht.Summary()
+	out.JournalFlushLat = hjf.Summary()
+	return out
+}
+
+// RunOptions tune a batch Serve run. Only Clients affects the wall clock;
+// nothing in RunOptions besides the op list and the array's seed/shard
+// count may affect the report.
+type RunOptions struct {
+	// Clients is the number of worker goroutines draining shard queues
+	// (0 means one per shard). It appears nowhere in the Report.
+	Clients int
+	// ContentSeed derives write payloads from op content ids.
+	ContentSeed int64
+	// Fill is the compressibility fill for payloads (0 means 0.5, the
+	// replayer's default; use workload.CalibrateFill for a target ratio).
+	Fill float64
+	// CleanEvery runs a shard's segment cleaner every N ops executed on
+	// that shard (0 disables periodic cleaning).
+	CleanEvery int
+}
+
+// ShardReport is one shard's slice of a Serve run.
+type ShardReport struct {
+	Ops     int           `json:"ops"`
+	Errors  int64         `json:"errors"`
+	Cleaned int           `json:"cleaned"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	Now     time.Duration `json:"now_ns"`
+	Stats   volume.Stats  `json:"stats"`
+}
+
+// Report summarizes a batch Serve run. It deliberately excludes the client
+// count and any wall-clock measurement: two runs that differ only in
+// scheduling must encode to identical bytes.
+type Report struct {
+	Shards   int           `json:"shards"`
+	Ops      int           `json:"ops"`
+	Writes   int64         `json:"writes"`
+	Reads    int64         `json:"reads"`
+	Trims    int64         `json:"trims"`
+	Errors   int64         `json:"errors"`
+	Cleaned  int           `json:"cleaned"`
+	Elapsed  time.Duration `json:"elapsed_ns"` // slowest shard's virtual elapsed time
+	Merged   volume.Stats  `json:"merged"`
+	PerShard []ShardReport `json:"per_shard"`
+}
+
+// ReportSchema versions the serve report envelope.
+const ReportSchema = "inlinered/serve-report/v1"
+
+// JSON encodes the report as stable, indented JSON with a schema envelope,
+// mirroring trace.Report.JSON.
+func (r *Report) JSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	env := struct {
+		Schema string  `json:"schema"`
+		Report *Report `json:"report"`
+	}{ReportSchema, r}
+	if err := enc.Encode(env); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// String renders a one-look summary.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"shards=%d ops=%d (w=%d r=%d t=%d) errors=%d cleaned=%d elapsed=%v\n"+
+			"  space: logical=%d stored=%d garbage=%d reduction=%.2fx dedup hits=%d\n"+
+			"  write p99=%v read p99=%v trim p99=%v",
+		r.Shards, r.Ops, r.Writes, r.Reads, r.Trims, r.Errors, r.Cleaned,
+		r.Elapsed.Round(time.Microsecond),
+		r.Merged.LogicalBytes, r.Merged.StoredBytes, r.Merged.GarbageBytes,
+		r.Merged.ReductionRatio(), r.Merged.DedupHits,
+		r.Merged.WriteLat.P99, r.Merged.ReadLat.P99, r.Merged.TrimLat.P99)
+}
+
+// Serve executes a batch of operations across the shards with concurrent
+// workers and returns the merged report.
+//
+// The op list is partitioned into per-shard queues first (an
+// order-preserving projection: shard i sees exactly the subsequence of ops
+// routed to it, in list order), then workers claim WHOLE queues via an
+// atomic counter — each shard is drained by exactly one worker, so its op
+// order, virtual clock, and fault stream never depend on how many workers
+// run or how the host schedules them. Per-op errors (injected faults) are
+// counted, not fatal: a serving front-end keeps serving.
+func (a *Array) Serve(ops []workload.Op, opt RunOptions) (*Report, error) {
+	n := int64(len(a.shards))
+	queues := make([][]workload.Op, n)
+	for i, op := range ops {
+		switch op.Kind {
+		case workload.OpWrite, workload.OpRead, workload.OpTrim:
+		default:
+			return nil, fmt.Errorf("serve: op %d: unknown kind %q", i, op.Kind)
+		}
+		if op.LBA < 0 || op.LBA >= a.blocks {
+			return nil, fmt.Errorf("serve: op %d: lba %d outside [0,%d)", i, op.LBA, a.blocks)
+		}
+		s := op.LBA % n
+		op.LBA /= n // shard-local address
+		queues[s] = append(queues[s], op)
+	}
+
+	clients := opt.Clients
+	if clients <= 0 {
+		clients = len(a.shards)
+	}
+	fill := opt.Fill
+	if fill == 0 {
+		fill = 0.5
+	}
+	per := make([]ShardReport, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(a.shards) {
+					return
+				}
+				per[i] = a.serveShard(i, queues[i], opt, fill)
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := &Report{Shards: len(a.shards), Ops: len(ops), PerShard: per}
+	for i := range per {
+		rep.Errors += per[i].Errors
+		rep.Cleaned += per[i].Cleaned
+		if per[i].Elapsed > rep.Elapsed {
+			rep.Elapsed = per[i].Elapsed
+		}
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case workload.OpWrite:
+			rep.Writes++
+		case workload.OpRead:
+			rep.Reads++
+		case workload.OpTrim:
+			rep.Trims++
+		}
+	}
+	rep.Merged = a.Stats()
+	return rep, nil
+}
+
+// serveShard drains one shard's queue. The shard lock is held for the
+// whole drain: the queue claim already guarantees exclusive ownership
+// among workers, and the lock only fences off concurrent direct-API calls.
+func (a *Array) serveShard(i int, queue []workload.Op, opt RunOptions, fill float64) ShardReport {
+	s := a.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := s.v.Now()
+	rep := ShardReport{Ops: len(queue)}
+	blockSize := a.cfg.Volume.BlockSize
+	for k, op := range queue {
+		var err error
+		switch op.Kind {
+		case workload.OpWrite:
+			data := workload.UniqueChunk(opt.ContentSeed, op.Content, blockSize, fill)
+			_, err = s.v.Write(op.LBA, data)
+		case workload.OpRead:
+			_, _, err = s.v.Read(op.LBA)
+		case workload.OpTrim:
+			_, err = s.v.Trim(op.LBA)
+		}
+		if err != nil {
+			rep.Errors++
+		}
+		if opt.CleanEvery > 0 && (k+1)%opt.CleanEvery == 0 {
+			cleaned, err := s.v.Clean()
+			rep.Cleaned += cleaned
+			if err != nil {
+				rep.Errors++
+			}
+		}
+	}
+	rep.Now = s.v.Now()
+	rep.Elapsed = rep.Now - start
+	rep.Stats = s.v.Stats()
+	return rep
+}

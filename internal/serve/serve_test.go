@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"inlinered/internal/fault"
+	"inlinered/internal/obs"
+	"inlinered/internal/volume"
+	"inlinered/internal/workload"
+)
+
+// testConfig is a small array config with faults armed, so determinism
+// covers the injected-fault streams too.
+func testConfig(shards int) Config {
+	vc := volume.DefaultConfig()
+	vc.Blocks = 4096
+	vc.SSD.BlocksPerChannel = 128
+	vc.SegmentBytes = 1 << 20
+	vc.CacheBytes = 0
+	vc.Index.BinBits = 4
+	vc.Index.BufferEntries = 4
+	vc.Faults = fault.Config{Seed: 42, Rates: fault.Rates{
+		SSDWriteTransient: 0.05,
+		SSDReadTransient:  0.05,
+		SSDLatencySpike:   0.02,
+		JournalTorn:       0.05,
+	}}
+	return Config{Volume: vc, Shards: shards}
+}
+
+func testOps(t *testing.T) []workload.Op {
+	t.Helper()
+	ops, err := workload.ClosedLoop(workload.ClosedLoopSpec{
+		Ops:        1200,
+		Blocks:     512,
+		WriteFrac:  0.5,
+		TrimFrac:   0.1,
+		DedupRatio: 2.0,
+		Hotspot:    0.2,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ops
+}
+
+func runServe(t *testing.T, shards, clients int) (*Report, []byte) {
+	t.Helper()
+	a, err := New(testConfig(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Serve(testOps(t), RunOptions{Clients: clients, ContentSeed: 9, CleanEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, js
+}
+
+// TestServeMergeDeterminism is the tentpole acceptance test: for each shard
+// count, the merged report and the per-shard stats are bit-identical for
+// any client count and any GOMAXPROCS. Only the shard count may change the
+// results.
+func TestServeMergeDeterminism(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, shards := range []int{1, 2, 8} {
+		var wantRep *Report
+		var wantJS []byte
+		for _, clients := range []int{1, 4, 16} {
+			for _, procs := range []int{1, runtime.NumCPU()} {
+				runtime.GOMAXPROCS(procs)
+				rep, js := runServe(t, shards, clients)
+				if wantJS == nil {
+					wantRep, wantJS = rep, js
+					continue
+				}
+				if !bytes.Equal(js, wantJS) {
+					t.Fatalf("shards=%d: report JSON diverged at clients=%d procs=%d", shards, clients, procs)
+				}
+				if !reflect.DeepEqual(rep.PerShard, wantRep.PerShard) {
+					t.Fatalf("shards=%d: per-shard stats diverged at clients=%d procs=%d", shards, clients, procs)
+				}
+			}
+		}
+		if wantRep.Errors == 0 && wantRep.Merged.SSDWriteRetries == 0 {
+			t.Fatalf("shards=%d: fault rates never fired; determinism test is vacuous", shards)
+		}
+	}
+}
+
+// TestServeOneShardMatchesRawVolume proves the 1-shard array is the raw
+// volume: same routing (identity), same seed, same clock, same stats.
+func TestServeOneShardMatchesRawVolume(t *testing.T) {
+	cfg := testConfig(1)
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := volume.New(cfg.Volume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range testOps(t) {
+		switch op.Kind {
+		case workload.OpWrite:
+			data := workload.UniqueChunk(9, op.Content, cfg.Volume.BlockSize, 0.5)
+			a.Write(op.LBA, data)
+			v.Write(op.LBA, data)
+		case workload.OpRead:
+			a.Read(op.LBA)
+			v.Read(op.LBA)
+		case workload.OpTrim:
+			a.Trim(op.LBA)
+			v.Trim(op.LBA)
+		}
+	}
+	if a.Now() != v.Now() {
+		t.Fatalf("1-shard clock %v != raw volume clock %v", a.Now(), v.Now())
+	}
+	if !reflect.DeepEqual(a.Stats(), v.Stats()) {
+		t.Fatalf("1-shard stats diverged from raw volume:\n%+v\n%+v", a.Stats(), v.Stats())
+	}
+}
+
+// TestServeShardCountChangesCapacityNotCorrectness: every written block
+// reads back byte-identical regardless of shard count.
+func TestServeRoundTripAcrossShardCounts(t *testing.T) {
+	for _, shards := range []int{1, 3, 8} {
+		cfg := testConfig(shards)
+		cfg.Volume.Faults = fault.Config{} // clean media for exact round trips
+		a, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 257 // not a multiple of any shard count above
+		for i := int64(0); i < n; i++ {
+			data := workload.UniqueChunk(1, int32(i%40), cfg.Volume.BlockSize, 0.5)
+			if _, err := a.Write(i, data); err != nil {
+				t.Fatalf("shards=%d write %d: %v", shards, i, err)
+			}
+		}
+		for i := int64(0); i < n; i++ {
+			want := workload.UniqueChunk(1, int32(i%40), cfg.Volume.BlockSize, 0.5)
+			got, _, err := a.Read(i)
+			if err != nil {
+				t.Fatalf("shards=%d read %d: %v", shards, i, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("shards=%d lba %d: round trip mismatch", shards, i)
+			}
+		}
+		if st := a.Stats(); st.Writes != n || st.Reads != n {
+			t.Fatalf("shards=%d merged counts: %+v", shards, st)
+		}
+		// Out-of-range LBAs are rejected at the front door.
+		if _, err := a.Write(cfg.Volume.Blocks, make([]byte, cfg.Volume.BlockSize)); err == nil {
+			t.Fatal("out-of-range write accepted")
+		}
+	}
+}
+
+// TestServeConcurrentDirectAPI hammers the direct (non-batch) API from 16
+// goroutines over 8 shards — the configuration CI runs under -race — and
+// verifies every goroutine's blocks read back correctly. Direct calls are
+// goroutine-safe; they just don't promise cross-run bit-identity.
+func TestServeConcurrentDirectAPI(t *testing.T) {
+	const (
+		shards     = 8
+		goroutines = 16
+		perG       = 64
+	)
+	cfg := testConfig(shards)
+	cfg.Volume.Faults = fault.Config{}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Disjoint LBA range per goroutine; the ranges still stripe
+			// across all shards, so shard mutexes are genuinely contended.
+			base := int64(g * perG)
+			for i := int64(0); i < perG; i++ {
+				lba := base + i
+				data := workload.UniqueChunk(3, int32(lba), cfg.Volume.BlockSize, 0.5)
+				if _, err := a.Write(lba, data); err != nil {
+					errs <- fmt.Errorf("g%d write %d: %v", g, lba, err)
+					return
+				}
+			}
+			for i := int64(0); i < perG; i++ {
+				lba := base + i
+				got, _, err := a.Read(lba)
+				if err != nil {
+					errs <- fmt.Errorf("g%d read %d: %v", g, lba, err)
+					return
+				}
+				if !bytes.Equal(got, workload.UniqueChunk(3, int32(lba), cfg.Volume.BlockSize, 0.5)) {
+					errs <- fmt.Errorf("g%d lba %d: corrupted", g, lba)
+					return
+				}
+			}
+			if _, err := a.Trim(base); err != nil {
+				errs <- fmt.Errorf("g%d trim: %v", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := a.Stats()
+	if st.Writes != goroutines*perG || st.Reads != goroutines*perG || st.Trims != goroutines {
+		t.Fatalf("merged counts under concurrency: %+v", st)
+	}
+	if st.WriteLat.Count != st.Writes || st.ReadLat.Count != st.Reads {
+		t.Fatalf("histogram counts drifted under concurrency: %+v", st)
+	}
+}
+
+// TestServeConcurrentBatch runs the batch path under -race with many more
+// clients than shards (workers must exit cleanly when queues run out).
+func TestServeConcurrentBatch(t *testing.T) {
+	a, err := New(testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Serve(testOps(t), RunOptions{Clients: 16, ContentSeed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 1200+512 || rep.Shards != 4 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	var perOps int
+	for _, sr := range rep.PerShard {
+		perOps += sr.Ops
+	}
+	if perOps != rep.Ops {
+		t.Fatalf("per-shard ops %d != total %d", perOps, rep.Ops)
+	}
+	if rep.Merged.Writes+rep.Merged.Reads+rep.Merged.Trims != int64(rep.Ops) {
+		t.Fatalf("merged op counts don't cover the batch: %+v", rep.Merged)
+	}
+}
+
+// TestServeConfigValidation rejects bad shapes at construction.
+func TestServeConfigValidation(t *testing.T) {
+	bad := []Config{
+		func() Config { c := testConfig(1); c.Shards = -1; return c }(),
+		func() Config { c := testConfig(2); c.Volume.Blocks = 1; return c }(),
+		func() Config { c := testConfig(2); c.Obs = []*obs.Recorder{obs.NewRecorder()}; return c }(),
+		func() Config { c := testConfig(1); c.Volume.BlockSize = 8; return c }(),
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+}

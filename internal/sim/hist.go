@@ -47,6 +47,32 @@ func (h *Histogram) Observe(d time.Duration) {
 // N returns the sample count.
 func (h *Histogram) N() int64 { return h.n }
 
+// Merge folds o's samples into h: bucket counts, sample counts, and sums
+// add; min/max combine. Because the buckets are order-independent, merging
+// per-shard histograms in any order yields bit-identical contents — the
+// property the sharded serving front-end relies on for deterministic
+// report merges.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.n == 0 {
+		return
+	}
+	if h.n == 0 {
+		*h = *o
+		return
+	}
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+	for b := range h.counts {
+		h.counts[b] += o.counts[b]
+	}
+}
+
 // Counts returns a copy of the bucket counts (for tests and exports).
 func (h *Histogram) Counts() [histBuckets]int64 { return h.counts }
 

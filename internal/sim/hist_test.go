@@ -83,6 +83,42 @@ func TestHistogramOrderIndependent(t *testing.T) {
 	}
 }
 
+// TestHistogramMerge checks that merging sharded histograms in any order
+// reproduces the histogram a single observer would have built — the
+// deterministic-merge property the serving front-end relies on.
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	samples := make([]time.Duration, 500)
+	for i := range samples {
+		samples[i] = time.Duration(rng.Int63n(int64(5 * time.Millisecond)))
+	}
+	var whole Histogram
+	shards := make([]Histogram, 4)
+	for i, d := range samples {
+		whole.Observe(d)
+		shards[i%len(shards)].Observe(d)
+	}
+	var fwd, rev Histogram
+	for i := range shards {
+		fwd.Merge(&shards[i])
+		rev.Merge(&shards[len(shards)-1-i])
+	}
+	if fwd != whole || rev != whole {
+		t.Fatalf("merged histograms diverge from the single observer:\nfwd  %+v\nrev  %+v\nwant %+v",
+			fwd.Summary(), rev.Summary(), whole.Summary())
+	}
+	// Merging the empty histogram is the identity in both directions.
+	var empty Histogram
+	fwd.Merge(&empty)
+	if fwd != whole {
+		t.Fatal("merging an empty histogram changed the digest")
+	}
+	empty.Merge(&whole)
+	if empty != whole {
+		t.Fatal("merging into an empty histogram did not copy it")
+	}
+}
+
 // TestHistogramSingleSample checks every quantile of a one-sample histogram
 // is that sample.
 func TestHistogramSingleSample(t *testing.T) {

@@ -289,6 +289,13 @@ func (v *Volume) Stats() Stats {
 	return st
 }
 
+// Histograms returns copies of the per-op latency histograms (write, read,
+// trim, journal flush). Copies, not pointers: callers merge them across
+// shards without racing the volume's sequential commit path.
+func (v *Volume) Histograms() (write, read, trim, journalFlush sim.Histogram) {
+	return v.histW, v.histR, v.histT, v.histJF
+}
+
 // Drive exposes the underlying SSD for endurance inspection.
 func (v *Volume) Drive() *ssd.Drive { return v.drive }
 
@@ -352,6 +359,13 @@ func (v *Volume) readDrive(at time.Duration, lpn int64, pages int) (time.Duratio
 // rest of the run — the volume keeps serving I/O from the in-memory index,
 // it just loses crash recoverability, and the failure is counted. Returns
 // the completion time of the journal write.
+//
+// Histogram contract: torn flushes COUNT in the journal-flush histogram —
+// the partial write consumed real drive time, and hiding it would make
+// JournalFlushLat lie about the time the volume spent flushing. So
+// JournalFlushLat.Count == JournalRecords + JournalTornRecords. Flushes
+// dropped by a permanent write failure (or while journaling is degraded
+// off) consume no drive time and are NOT observed.
 func (v *Volume) journalFlush(at time.Duration, f *dedup.Flush) time.Duration {
 	if v.journalDead {
 		return at
@@ -359,6 +373,7 @@ func (v *Volume) journalFlush(at time.Duration, f *dedup.Flush) time.Duration {
 	if frac, torn := v.faults.TornFraction(); torn {
 		v.journal.AppendTorn(f, frac)
 		end, _ := v.writeJournal(at, f.Bytes) // the partial write still happened
+		v.histJF.Observe(end - at)
 		return end
 	}
 	end, err := v.writeJournal(at, f.Bytes)
@@ -401,7 +416,11 @@ func (v *Volume) segAt(i int) *segment {
 }
 
 // Write stores one block at lba through the inline reduction path and
-// returns the request's virtual latency.
+// returns the request's virtual latency. Failed writes follow the same
+// error-path accounting contract as Read: once past argument validation,
+// the request's elapsed virtual time is committed to the clock and the
+// write histogram, and the request counts in Stats.Writes, success or
+// failure.
 func (v *Volume) Write(lba int64, data []byte) (time.Duration, error) {
 	if lba < 0 || lba >= v.cfg.Blocks {
 		return 0, fmt.Errorf("volume: lba %d outside [0,%d)", lba, v.cfg.Blocks)
@@ -442,7 +461,7 @@ func (v *Volume) Write(lba int64, data []byte) (time.Duration, error) {
 		}
 		loc, err := v.alloc(len(blob))
 		if err != nil {
-			return 0, err
+			return v.failWrite(start, t, lba), err
 		}
 		var zs time.Duration
 		zs, t = v.cpu.Run(t, cycles+cost.StageOverheadCycles)
@@ -451,7 +470,7 @@ func (v *Volume) Write(lba int64, data []byte) (time.Duration, error) {
 		// index or journal record can point at it.
 		t, err = v.appendBlob(t, fp, loc, blob)
 		if err != nil {
-			return 0, err
+			return v.failWrite(start, t, lba), err
 		}
 		ir := v.index.Insert(fp, dedup.Entry{Loc: loc, Size: uint32(len(blob))})
 		icycles := cost.InsertCycles + float64(ir.BufferScanned)*cost.BufferEntryCycles
@@ -481,6 +500,20 @@ func (v *Volume) Write(lba int64, data []byte) (time.Duration, error) {
 		v.obs.SpanN(v.laneOps, "write", start, t, "lba", lba)
 	}
 	return t - start, nil
+}
+
+// failWrite commits a failed write to the clock, the stats, and the
+// latency histogram — the same error-path accounting contract as failRead:
+// CPU work and retry/backoff time a rejected write really consumed stays on
+// the clock and in the latency summaries.
+func (v *Volume) failWrite(start, end time.Duration, lba int64) time.Duration {
+	v.stats.Writes++
+	v.now = end
+	v.histW.Observe(end - start)
+	if v.obs != nil {
+		v.obs.SpanN(v.laneOps, "write-error", start, end, "lba", lba)
+	}
+	return end - start
 }
 
 // curLoc returns the byte offset of the current append position.
@@ -516,11 +549,12 @@ func (v *Volume) alloc(n int) (int64, error) {
 }
 
 // appendBlob lands a unique blob at its allocated log position and
-// registers its chunkRef.
+// registers its chunkRef. On error it returns the virtual time the failed
+// write reached (retries and backoff included), so callers can commit it.
 func (v *Volume) appendBlob(at time.Duration, fp dedup.Fingerprint, loc int64, blob []byte) (time.Duration, error) {
 	end, err := v.writeLog(at, loc, len(blob))
 	if err != nil {
-		return at, err
+		return end, err
 	}
 	v.blobs[loc] = blob
 	v.chunks[fp] = &chunkRef{fp: fp, loc: loc, size: int32(len(blob)), refs: 1}
@@ -562,6 +596,12 @@ func (v *Volume) deref(fp dedup.Fingerprint) {
 
 // Read returns the block at lba (zeros when unmapped) and the request's
 // virtual latency.
+//
+// Error-path accounting contract: once a request passes argument
+// validation, every virtual nanosecond it consumes is committed to the
+// clock and its latency histogram, and the request is counted in Stats,
+// whether it succeeds or fails — retry/backoff time spent on a read that
+// ultimately errors must not vanish from the latency summaries.
 func (v *Volume) Read(lba int64) ([]byte, time.Duration, error) {
 	if lba < 0 || lba >= v.cfg.Blocks {
 		return nil, 0, fmt.Errorf("volume: lba %d outside [0,%d)", lba, v.cfg.Blocks)
@@ -572,6 +612,9 @@ func (v *Volume) Read(lba int64) ([]byte, time.Duration, error) {
 		// Unmapped: the array synthesizes zeros without touching media.
 		v.stats.Reads++
 		v.histR.Observe(0)
+		if v.obs != nil {
+			v.obs.SpanN(v.laneOps, "read", start, start, "lba", lba)
+		}
 		return make([]byte, v.cfg.BlockSize), 0, nil
 	}
 	// Content-addressed cache: a hit skips the SSD and the decoder, paying
@@ -600,11 +643,11 @@ func (v *Volume) Read(lba int64) ([]byte, time.Duration, error) {
 	last := (ref.loc + int64(ref.size) - 1) / pageSize
 	t, err := v.readDrive(v.now, first, int(last-first+1))
 	if err != nil {
-		return nil, 0, fmt.Errorf("volume: lba %d: %w", lba, err)
+		return nil, v.failRead(start, t, lba), fmt.Errorf("volume: lba %d: %w", lba, err)
 	}
 	out, err := lz.Decompress(nil, blob)
 	if err != nil {
-		return nil, 0, fmt.Errorf("volume: lba %d: %w", lba, err)
+		return nil, v.failRead(start, t, lba), fmt.Errorf("volume: lba %d: %w", lba, err)
 	}
 	ds, t := v.cpu.Run(t, v.cpu.Cost.DecompressCycles(len(out))+v.cpu.Cost.StageOverheadCycles)
 	v.cpuSpan("decompress", ds, t)
@@ -616,6 +659,21 @@ func (v *Volume) Read(lba int64) ([]byte, time.Duration, error) {
 		v.obs.SpanN(v.laneOps, "read", start, t, "lba", lba)
 	}
 	return out, t - start, nil
+}
+
+// failRead commits a failed read to the clock, the stats, and the latency
+// histogram (the error-path accounting contract: time a request really
+// spent — retries, backoff, the partial work before the failure — never
+// vanishes). Returns the request's latency for the caller to surface
+// alongside the error.
+func (v *Volume) failRead(start, end time.Duration, lba int64) time.Duration {
+	v.stats.Reads++
+	v.now = end
+	v.histR.Observe(end - start)
+	if v.obs != nil {
+		v.obs.SpanN(v.laneOps, "read-error", start, end, "lba", lba)
+	}
+	return end - start
 }
 
 // Trim unmaps a block, releasing its chunk reference, and returns the
@@ -670,6 +728,14 @@ func (v *Volume) Clean() (int, error) {
 }
 
 // cleanSegment moves a segment's live blobs to the log head.
+//
+// Accounting is per-chunk so a mid-move failure leaves Stats consistent:
+// each successfully moved blob immediately leaves the source segment's
+// live count and turns its old copy into garbage; the final reconciliation
+// only retires the garbage the freed segment still holds. On any error the
+// elapsed virtual time is committed to the clock before returning (the
+// error-path accounting contract), the already-moved chunks stay moved,
+// and the partially cleaned segment remains a candidate for the next pass.
 func (v *Volume) cleanSegment(i int) error {
 	segStart := int64(i) * int64(v.cfg.SegmentBytes)
 	segEnd := segStart + int64(v.cfg.SegmentBytes)
@@ -686,6 +752,14 @@ func (v *Volume) cleanSegment(i int) error {
 	}
 	sort.Slice(live, func(a, b int) bool { return live[a].loc < live[b].loc })
 	t := v.now
+	// Whatever happens below, the elapsed virtual time and the cleaning
+	// span are committed — a failed move must not make drive time vanish.
+	defer func() {
+		if v.obs != nil {
+			v.obs.SpanN(v.laneOps, "clean-segment", v.now, t, "segment", int64(i))
+		}
+		v.now = t
+	}()
 	pageSize := int64(v.drive.PageSize)
 	for _, ref := range live {
 		blob := v.blobs[ref.loc]
@@ -693,19 +767,21 @@ func (v *Volume) cleanSegment(i int) error {
 		first := ref.loc / pageSize
 		last := (ref.loc + int64(ref.size) - 1) / pageSize
 		end, err := v.readDrive(t, first, int(last-first+1))
+		t = end
 		if err != nil {
 			return fmt.Errorf("volume: during cleaning: %w", err)
 		}
-		t = end
 		newLoc, err := v.alloc(len(blob))
 		if err != nil {
 			return fmt.Errorf("volume: during cleaning: %w", err)
 		}
 		end, err = v.writeLog(t, newLoc, len(blob))
-		if err != nil {
-			return err
-		}
 		t = end
+		if err != nil {
+			// The failed append leaves a never-written hole at newLoc; it
+			// belongs to no segment's accounting and is simply lost capacity.
+			return fmt.Errorf("volume: during cleaning: %w", err)
+		}
 		delete(v.blobs, ref.loc)
 		v.blobs[newLoc] = blob
 		ref.loc = newLoc
@@ -718,22 +794,26 @@ func (v *Volume) cleanSegment(i int) error {
 		ns := v.segAt(v.segOf(newLoc))
 		ns.live += int64(ref.size)
 		ns.used += int64(ref.size)
+		// The chunk has left the source segment: its old copy is garbage
+		// now, not at end-of-segment reconciliation time. (segAt, not a
+		// held pointer: alloc may have grown v.segments.)
+		v.segAt(i).live -= int64(ref.size)
+		v.stats.GarbageBytes += int64(ref.size)
 		v.stats.MovedBytes += int64(ref.size)
 		v.stats.LogBytes += int64(ref.size)
 		var mvs time.Duration
 		mvs, t = v.cpu.Run(t, v.cpu.Cost.MemcpyCycles(len(blob)))
 		v.cpuSpan("gc-copy", mvs, t)
 	}
-	if v.obs != nil {
-		v.obs.SpanN(v.laneOps, "clean-segment", v.now, t, "segment", int64(i))
-	}
-	seg := &v.segments[i]
+	// Every live blob has moved out: retire the garbage the segment still
+	// holds (its originally dead bytes plus the copies the moves above just
+	// orphaned) and return it to the free pool.
+	seg := v.segAt(i)
 	v.stats.GarbageBytes -= seg.used - seg.live
 	seg.live, seg.used = 0, 0
 	v.freeSegs = append(v.freeSegs, i)
 	// Trim the reclaimed segment's pages so the FTL can reuse them.
 	segStartPage := int64(i) * int64(v.cfg.SegmentBytes) / pageSize
 	v.drive.Trim(segStartPage, v.cfg.SegmentBytes/int(pageSize))
-	v.now = t
 	return nil
 }

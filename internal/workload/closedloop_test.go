@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestClosedLoopValidation(t *testing.T) {
+	good := ClosedLoopSpec{Ops: 100, Blocks: 64, WriteFrac: 0.5, TrimFrac: 0.1, DedupRatio: 2, Seed: 1}
+	bad := []func(*ClosedLoopSpec){
+		func(s *ClosedLoopSpec) { s.Ops = 0 },
+		func(s *ClosedLoopSpec) { s.Blocks = 0 },
+		func(s *ClosedLoopSpec) { s.WriteFrac = 0.8; s.TrimFrac = 0.4 },
+		func(s *ClosedLoopSpec) { s.WriteFrac = -0.1 },
+		func(s *ClosedLoopSpec) { s.DedupRatio = 0.5 },
+		func(s *ClosedLoopSpec) { s.Hotspot = 1.5 },
+	}
+	if _, err := ClosedLoop(good); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	for i, mut := range bad {
+		s := good
+		mut(&s)
+		if _, err := ClosedLoop(s); err == nil {
+			t.Errorf("case %d should be rejected", i)
+		}
+	}
+}
+
+func TestClosedLoopShape(t *testing.T) {
+	spec := ClosedLoopSpec{Ops: 2000, Blocks: 256, WriteFrac: 0.5, TrimFrac: 0.1, DedupRatio: 2, Hotspot: 0.3, Seed: 5}
+	ops, err := ClosedLoop(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != spec.Ops+int(spec.Blocks) {
+		t.Fatalf("len = %d, want fill %d + mix %d", len(ops), spec.Blocks, spec.Ops)
+	}
+	// The fill pass writes every LBA once, in order.
+	for i := int64(0); i < spec.Blocks; i++ {
+		if ops[i].Kind != OpWrite || ops[i].LBA != i {
+			t.Fatalf("fill op %d: %+v", i, ops[i])
+		}
+	}
+	var w, r, tr int
+	for _, op := range ops[spec.Blocks:] {
+		if op.LBA < 0 || op.LBA >= spec.Blocks {
+			t.Fatalf("lba %d out of range", op.LBA)
+		}
+		switch op.Kind {
+		case OpWrite:
+			w++
+		case OpRead:
+			r++
+		case OpTrim:
+			tr++
+		default:
+			t.Fatalf("unknown kind %q", op.Kind)
+		}
+	}
+	// Mix fractions land near the spec (loose bounds; the draw is random
+	// but deterministic).
+	if w < spec.Ops/3 || tr == 0 || r == 0 {
+		t.Fatalf("mix off: w=%d r=%d t=%d", w, r, tr)
+	}
+	// Determinism: same spec, same list.
+	again, err := ClosedLoop(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ops, again) {
+		t.Fatal("same spec produced different op lists")
+	}
+}

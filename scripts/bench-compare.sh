@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# bench-compare.sh — guard the data-plane wall-clock benchmark against
-# regressions.
+# bench-compare.sh — guard the wall-clock benchmarks against regressions.
 #
-# Runs BenchmarkDataPlaneWallClock and compares it with the checked-in
-# baseline (bench_baseline.txt, recorded with scripts/bench-compare.sh
-# --record on the reference machine). Uses benchstat when it is on PATH;
+# Runs BenchmarkDataPlaneWallClock and BenchmarkServeWallClock and compares
+# them with the checked-in baseline (bench_baseline.txt, recorded with
+# scripts/bench-compare.sh --record on the reference machine). Uses
+# benchstat when it is on PATH;
 # otherwise falls back to a plain geomean comparison of ns/op and
 # allocs/op with a tolerance, so CI needs no extra tooling.
 #
@@ -19,7 +19,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE=bench_baseline.txt
-BENCH='BenchmarkDataPlaneWallClock'
+BENCH='BenchmarkDataPlaneWallClock|BenchmarkServeWallClock'
+# Every guarded benchmark/subbenchmark pair, for the fallback comparison.
+CASES=(
+    BenchmarkDataPlaneWallClock/serial
+    BenchmarkDataPlaneWallClock/parallel
+    BenchmarkServeWallClock/shards1
+    BenchmarkServeWallClock/shards4
+)
 COUNT="${BENCH_COUNT:-5}"
 # Allocation counts are deterministic to within pool-warmup noise; time is
 # host-dependent, so the fallback comparison is deliberately loose on ns/op
@@ -78,12 +85,12 @@ geomean() {
 }
 
 fail=0
-for sub in serial parallel; do
+for bcase in "${CASES[@]}"; do
     for spec in "ns/op:$TIME_TOLERANCE_PCT" "allocs/op:$ALLOC_TOLERANCE_PCT"; do
         unit="${spec%%:*}"
         tol="${spec##*:}"
-        base="$(geomean "$BASELINE" "$BENCH/$sub" "$unit")"
-        cur="$(geomean "$CURRENT" "$BENCH/$sub" "$unit")"
+        base="$(geomean "$BASELINE" "$bcase" "$unit")"
+        cur="$(geomean "$CURRENT" "$bcase" "$unit")"
         limit=$(( base + base * tol / 100 ))
         status=ok
         if (( cur > limit )); then
@@ -97,8 +104,8 @@ for sub in serial parallel; do
                 status="WARN (>${tol}% over baseline; advisory)"
             fi
         fi
-        printf '%-28s %-10s base=%-12s current=%-12s %s\n' \
-            "$BENCH/$sub" "$unit" "$base" "$cur" "$status"
+        printf '%-36s %-10s base=%-12s current=%-12s %s\n' \
+            "$bcase" "$unit" "$base" "$cur" "$status"
     done
 done
 exit "$fail"
