@@ -14,6 +14,7 @@ package inlinered
 
 import (
 	"os"
+	"runtime"
 	"testing"
 
 	"inlinered/internal/experiments"
@@ -116,7 +117,18 @@ func BenchmarkDataPlaneWallClock(b *testing.B) {
 // more real encoding work at a fixed dedup ratio. Array construction is
 // excluded from the timed region (it allocates each shard's drive,
 // cache, and index up front). scripts/bench-compare.sh guards both
-// cases against regression.
+// cases against regression, and the benchmark itself enforces
+// serveAllocsPerOpCeiling so an allocation regression fails even a bare
+// `go test -bench ServeWallClock` with no baseline around.
+//
+// serveAllocsPerOpCeiling bounds heap allocations per storage op across the
+// Serve call. The zero-alloc serve path measures ~1.3 (shards1) to ~2.6
+// (shards4) allocs/op — the remainder is the write path's retained state
+// (exact-size blob, chunk ref, index entry, map growth); reads and trims
+// run allocation-free once buffers are warm. The pre-pooling path sat at
+// ~6-8 allocs/op, so 5 is real headroom without tolerating a relapse.
+const serveAllocsPerOpCeiling = 5.0
+
 func BenchmarkServeWallClock(b *testing.B) {
 	ops := 30000
 	if testing.Short() {
@@ -141,6 +153,8 @@ func BenchmarkServeWallClock(b *testing.B) {
 		b.Run(bc.name, func(b *testing.B) {
 			b.SetBytes(int64(len(list)) * 4096)
 			b.ReportAllocs()
+			var mallocs uint64
+			var m0, m1 runtime.MemStats
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
@@ -150,6 +164,7 @@ func BenchmarkServeWallClock(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				runtime.ReadMemStats(&m0)
 				b.StartTimer()
 				rep, err := arr.Serve(list, ServeOptions{
 					Clients: bc.clients, ContentSeed: 11, CleanEvery: 4096,
@@ -160,6 +175,17 @@ func BenchmarkServeWallClock(b *testing.B) {
 				if rep.Ops == 0 {
 					b.Fatal("empty report")
 				}
+				b.StopTimer()
+				runtime.ReadMemStats(&m1)
+				mallocs += m1.Mallocs - m0.Mallocs
+				b.StartTimer()
+			}
+			b.StopTimer()
+			perOp := float64(mallocs) / float64(b.N) / float64(len(list))
+			b.ReportMetric(perOp, "allocs/storage-op")
+			if perOp > serveAllocsPerOpCeiling {
+				b.Fatalf("serve path allocates %.2f objects per storage op, ceiling is %.1f",
+					perOp, serveAllocsPerOpCeiling)
 			}
 		})
 	}

@@ -82,6 +82,20 @@ type Engine struct {
 	seen        map[dedup.Fingerprint]bool // batch-local first occurrences
 	hbFree      []*hashedBatch             // recycled batch headers
 	batchSlices [][][]byte                 // recycled chunk-pointer slices
+
+	// The precompute fan-out body, built once in NewEngine so the
+	// per-batch Map call allocates no closure; its inputs ride in the
+	// pre* fields below, published before Map and read only by workers
+	// inside it.
+	preFn        func(int)
+	preChunks    [][]byte
+	preGPUMode   bool
+	preThreshold float64
+
+	// GPU compression batch scratch, reused across kernel launches.
+	subResults []lz.SubBlockResult
+	subErrs    []error
+	perLane    []float64
 }
 
 // bufPool is a LIFO free list of byte buffers. Unlike sync.Pool it never
@@ -222,6 +236,25 @@ func NewEngine(plat Platform, cfg Config) (*Engine, error) {
 		e.par = runtime.NumCPU()
 	}
 	e.pool = parallel.New(e.par)
+	e.preFn = func(k int) {
+		i := e.uniq[k]
+		c := e.preChunks[i]
+		pc := &e.pre[i]
+		if e.cfg.SkipIncompressible {
+			pc.entropy = true
+			pc.incompressible = lz.LikelyIncompressible(c, e.preThreshold)
+			if pc.incompressible {
+				pc.blob = lz.StoreRaw(e.blobBufs.Get(len(c)+blobHeadroom), c)
+				pc.done = true
+				return
+			}
+		}
+		if e.preGPUMode {
+			return // the chunk joins the GPU pending queue instead
+		}
+		pc.blob, pc.stats = lz.CompressCodec(e.cfg.Codec, e.blobBufs.Get(len(c)+blobHeadroom), c, e.cfg.LZ)
+		pc.done = true
+	}
 	if cfg.Dedup {
 		e.seen = make(map[dedup.Fingerprint]bool)
 	}
@@ -544,32 +577,19 @@ func (e *Engine) precompute(hb *hashedBatch) []preChunk {
 		return nil
 	}
 
-	// Pass 2 — parallel real computation over the predicted uniques.
+	// Pass 2 — parallel real computation over the predicted uniques,
+	// through the persistent closure (preFn) so the per-batch Map call
+	// allocates nothing.
 	pre := e.pre[:0]
 	for len(pre) < len(chunks) {
 		pre = append(pre, preChunk{})
 	}
 	e.pre = pre
-	threshold := e.entropyThreshold()
-	e.pool.Map(len(uniq), func(k int) {
-		i := uniq[k]
-		c := chunks[i]
-		pc := &pre[i]
-		if e.cfg.SkipIncompressible {
-			pc.entropy = true
-			pc.incompressible = lz.LikelyIncompressible(c, threshold)
-			if pc.incompressible {
-				pc.blob = lz.StoreRaw(e.blobBufs.Get(len(c)+blobHeadroom), c)
-				pc.done = true
-				return
-			}
-		}
-		if gpuMode {
-			return // the chunk joins the GPU pending queue instead
-		}
-		pc.blob, pc.stats = lz.CompressCodec(e.cfg.Codec, e.blobBufs.Get(len(c)+blobHeadroom), c, e.cfg.LZ)
-		pc.done = true
-	})
+	e.preChunks = chunks
+	e.preGPUMode = gpuMode
+	e.preThreshold = e.entropyThreshold()
+	e.pool.Map(len(uniq), e.preFn)
+	e.preChunks = nil
 	return pre
 }
 
@@ -784,11 +804,16 @@ func (e *Engine) flushGPUCompress() error {
 	// The kernel: every chunk gets Sub.SubBlocks lanes, each compressing
 	// its own sub-block for real. Lane costs come from the real encoder
 	// work; wavefront lockstep and divergence are charged by the profile.
-	results := make([]lz.SubBlockResult, len(pend))
+	// The result/lane-cost slices are engine scratch, reused per launch.
+	results := e.subResults[:0]
+	for len(results) < len(pend) {
+		results = append(results, lz.SubBlockResult{})
+	}
+	e.subResults = results
 	e.pool.Map(len(pend), func(i int) {
 		results[i] = lz.CompressSubBlocks(pend[i].data, e.cfg.Sub)
 	})
-	var perLane []float64
+	perLane := e.perLane[:0]
 	rawBytes := 0
 	for _, res := range results {
 		for _, l := range res.Lanes {
@@ -799,6 +824,7 @@ func (e *Engine) flushGPUCompress() error {
 		}
 		rawBytes += res.RawBytes()
 	}
+	e.perLane = perLane
 	kernel := gpu.KernelFunc{Label: "subblock-lz", Fn: func() gpu.Profile {
 		p := gpu.Wavefronts(perLane, e.dev.WavefrontSize)
 		p.LocalBytes = int64(srcBytes)
@@ -828,8 +854,12 @@ func (e *Engine) flushGPUCompress() error {
 	// The blobs are computed now, but their CPU jobs are committed when the
 	// CPU frontier reaches the kernel completion time (retireDue), so the
 	// virtual pool stays work-conserving.
-	blobs := make([][]byte, len(pend))
-	errs := make([]error, len(pend))
+	blobs := make([][]byte, len(pend)) // escapes into the retired batch
+	errs := e.subErrs[:0]
+	for len(errs) < len(pend) {
+		errs = append(errs, nil)
+	}
+	e.subErrs = errs
 	e.pool.Map(len(pend), func(i int) {
 		blobs[i], _, errs[i] = lz.PostProcessOrRaw(e.blobBufs.Get(len(pend[i].data)+blobHeadroom), pend[i].data, results[i])
 	})

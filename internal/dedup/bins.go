@@ -204,11 +204,27 @@ func (x *BinIndex) MemoryBytes() int64 { return x.Len() * int64(x.EntryBytes()) 
 // BinOf returns the bin a fingerprint maps to.
 func (x *BinIndex) BinOf(fp Fingerprint) uint32 { return fp.Bin(x.cfg.BinBits) }
 
+// probeKey returns the stored suffix of *fp as a view into the caller's
+// fingerprint, for probe-side comparisons only: unlike Suffix it performs
+// no allocation (the serving front-end probes the index once per op, and
+// a per-probe copy was one of its top allocators). The view must not be
+// retained — Insert still copies via Suffix for stored entries.
+func (x *BinIndex) probeKey(fp *Fingerprint) []byte {
+	n := x.cfg.PrefixBytes
+	if n < 0 {
+		n = 0
+	}
+	if n > FingerprintSize {
+		n = FingerprintSize
+	}
+	return fp[n:]
+}
+
 // Lookup probes the index for a fingerprint: bin buffer first (temporal
 // locality, Figure 1), then the bin tree.
 func (x *BinIndex) Lookup(fp Fingerprint) Probe {
 	b := &x.bins[x.BinOf(fp)]
-	key := fp.Suffix(x.cfg.PrefixBytes)
+	key := x.probeKey(&fp)
 	var p Probe
 	// Scan the buffer newest-first: recent chunks are the likely repeats.
 	for i := len(b.buf) - 1; i >= 0; i-- {
@@ -234,7 +250,7 @@ func (x *BinIndex) Lookup(fp Fingerprint) Probe {
 // index design accepts).
 func (x *BinIndex) LookupBuffer(fp Fingerprint) Probe {
 	b := &x.bins[x.BinOf(fp)]
-	key := fp.Suffix(x.cfg.PrefixBytes)
+	key := x.probeKey(&fp)
 	var p Probe
 	for i := len(b.buf) - 1; i >= 0; i-- {
 		p.BufferScanned++
@@ -253,17 +269,18 @@ func (x *BinIndex) LookupBuffer(fp Fingerprint) Probe {
 func (x *BinIndex) Insert(fp Fingerprint, e Entry) InsertResult {
 	binID := x.BinOf(fp)
 	b := &x.bins[binID]
-	key := fp.Suffix(x.cfg.PrefixBytes)
+	probe := x.probeKey(&fp)
 	var res InsertResult
 	for i := len(b.buf) - 1; i >= 0; i-- {
 		res.BufferScanned++
-		if bytes.Equal(b.buf[i].key, key) {
+		if bytes.Equal(b.buf[i].key, probe) {
 			b.buf[i].val = e
 			return res
 		}
 	}
 	res.BufferScanned++
-	b.buf = append(b.buf, bufEntry{key: key, val: e})
+	// Only an appended entry needs an owned copy of the suffix.
+	b.buf = append(b.buf, bufEntry{key: fp.Suffix(x.cfg.PrefixBytes), val: e})
 	x.entries.Add(1)
 	res.Evicted = x.enforceCap(binID)
 	if x.faults.EvictIndex() {
@@ -317,7 +334,7 @@ func (x *BinIndex) flush(binID uint32) *Flush {
 // chunk stores when a chunk's last reference goes away.
 func (x *BinIndex) Remove(fp Fingerprint) (removed bool, bufferScanned, treeSteps int) {
 	b := &x.bins[x.BinOf(fp)]
-	key := fp.Suffix(x.cfg.PrefixBytes)
+	key := x.probeKey(&fp)
 	for i := len(b.buf) - 1; i >= 0; i-- {
 		bufferScanned++
 		if bytes.Equal(b.buf[i].key, key) {

@@ -2,6 +2,7 @@ package lz
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -14,6 +15,27 @@ func benchChunk(fill float64) []byte {
 		rng.Read(out[i : i+n])
 	}
 	return out
+}
+
+// BenchmarkMatchLen measures the innermost compare loop at the match
+// lengths that dominate real streams: barely-minimum (4), typical (16),
+// and long raw runs (256, the sub-block/QLZ regime).
+func BenchmarkMatchLen(b *testing.B) {
+	for _, ml := range []int{4, 16, 256} {
+		b.Run(fmt.Sprintf("len%d", ml), func(b *testing.B) {
+			data := make([]byte, 2*ml+16)
+			rng := rand.New(rand.NewSource(int64(ml)))
+			rng.Read(data[:ml])
+			copy(data[ml:2*ml], data[:ml])
+			data[2*ml] = ^data[ml] // force the mismatch exactly at ml
+			b.SetBytes(int64(ml))
+			for i := 0; i < b.N; i++ {
+				if got := matchLen(data, 0, ml, ml+8); got != ml {
+					b.Fatalf("matchLen = %d, want %d", got, ml)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkCompress4KIncompressible(b *testing.B) {

@@ -29,6 +29,49 @@ func FuzzDecompress(f *testing.F) {
 	})
 }
 
+// FuzzMatchLen: the word-wise matchLen must agree with the scalar
+// reference loop for every (data, a, b, max) the encoder can legally form,
+// including overlapping ranges (b-a < 8) and mismatches at every byte lane.
+func FuzzMatchLen(f *testing.F) {
+	for _, data := range corpus() {
+		f.Add(data, 0, 1, MaxMatch)
+		f.Add(data, 3, 5, 256)
+	}
+	f.Add(bytes.Repeat([]byte{7}, 64), 0, 1, 63)
+	f.Fuzz(func(t *testing.T, data []byte, a, b, max int) {
+		if len(data) == 0 {
+			return
+		}
+		// Normalize to the encoder's contract: 0 <= a < b < len(data),
+		// 0 <= max <= len(data)-b.
+		a %= len(data)
+		if a < 0 {
+			a = -a % len(data)
+		}
+		b %= len(data)
+		if b < 0 {
+			b = -b % len(data)
+		}
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if max < 0 {
+			max = -max
+		}
+		if max > len(data)-b {
+			max %= len(data) - b + 1
+		}
+		got := matchLen(data, a, b, max)
+		want := matchLenRef(data, a, b, max)
+		if got != want {
+			t.Fatalf("a=%d b=%d max=%d: matchLen=%d, ref=%d", a, b, max, got, want)
+		}
+	})
+}
+
 // FuzzCompressRoundTrip: both codecs must round trip any input.
 func FuzzCompressRoundTrip(f *testing.F) {
 	for _, data := range corpus() {

@@ -38,6 +38,7 @@ package lz
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sync"
 )
 
@@ -136,30 +137,44 @@ func hash4(v uint32) uint32 {
 	return (v * 2654435761) >> hashShift
 }
 
-// matcher is a hash-chain match finder over one contiguous buffer.
+// matcher is a hash-chain match finder over one contiguous buffer. The
+// head table stores position+1 (0 = empty chain), so resetting it is one
+// memclr instead of a -1 fill; prev stores real positions (-1 = end).
 type matcher struct {
 	head [1 << hashBits]int32
 	prev []int32
 	data []byte
+	size int // pool size class (see matcherPools)
 }
 
-// matcherPool recycles matchers across encodes: the head table and prev
-// chain together are ~48 KB per 4 KB chunk, by far the codec's largest
-// allocation, and resetting them is much cheaper than reallocating under
-// GC pressure. The pool is safe for the engine's concurrent compression
-// workers.
-var matcherPool = sync.Pool{New: func() any { return new(matcher) }}
+// matcherPools recycle matchers across encodes, bucketed by the prev
+// chain's power-of-two size class: the head table and prev chain together
+// are ~48 KB per 4 KB chunk, by far the codec's largest allocation, and
+// resetting them is much cheaper than reallocating under GC pressure.
+// Bucketing by size keeps a matcher sized for 4 KB chunks from ping-ponging
+// with the sub-block encoder's much smaller lanes (or an occasional large
+// buffer), so a Get almost never reallocates prev. Each pool is safe for
+// the engine's concurrent compression workers.
+var matcherPools [32]sync.Pool
+
+// matcherSizeClass returns the bucket index for a buffer of n bytes: the
+// smallest power of two >= n (class 0 holds n <= 1).
+func matcherSizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
 
 func newMatcher(data []byte) *matcher {
-	m := matcherPool.Get().(*matcher)
+	class := matcherSizeClass(len(data))
+	m, _ := matcherPools[class].Get().(*matcher)
+	if m == nil {
+		m = &matcher{prev: make([]int32, 1<<class), size: class}
+	}
 	m.data = data
-	if cap(m.prev) < len(data) {
-		m.prev = make([]int32, len(data))
-	}
 	m.prev = m.prev[:len(data)]
-	for i := range m.head {
-		m.head[i] = -1
-	}
+	clear(m.head[:])
 	return m
 }
 
@@ -167,7 +182,7 @@ func newMatcher(data []byte) *matcher {
 // afterwards.
 func (m *matcher) release() {
 	m.data = nil
-	matcherPool.Put(m)
+	matcherPools[m.size].Put(m)
 }
 
 func (m *matcher) insert(pos int) {
@@ -175,12 +190,19 @@ func (m *matcher) insert(pos int) {
 		return
 	}
 	h := hash4(binary.LittleEndian.Uint32(m.data[pos:]))
-	m.prev[pos] = m.head[h]
-	m.head[h] = int32(pos)
+	m.prev[pos] = m.head[h] - 1
+	m.head[h] = int32(pos) + 1
 }
 
 // find returns the best match for pos looking back at most `reach` bytes
 // (bounded by the format window) and reports the chain steps examined.
+//
+// The steps accounting is part of the virtual-time cost model and counts
+// chain candidates EXAMINED, exactly as the original scalar walk did; the
+// best-len-first rejection probe below only avoids the full matchLen walk
+// for candidates that cannot beat the current best (their byte at offset
+// bestLen differs, so their match length is <= bestLen), never changing
+// which candidates count as a step or what the function returns.
 func (m *matcher) find(pos, reach, maxChain int) (offset, length, steps int) {
 	if pos+4 > len(m.data) {
 		// Too close to the end to hash a 4-byte group; emit literals.
@@ -198,13 +220,18 @@ func (m *matcher) find(pos, reach, maxChain int) (offset, length, steps int) {
 		maxLen = MaxMatch
 	}
 	h := hash4(binary.LittleEndian.Uint32(m.data[pos:]))
-	cand := m.head[h]
+	cand := m.head[h] - 1
 	bestLen, bestOff := 0, 0
+	data := m.data
 	for cand >= 0 && int(cand) >= limit && steps < maxChain {
 		steps++
 		c := int(cand)
-		if c < pos {
-			l := matchLen(m.data, c, pos, maxLen)
+		// Rejection probe: while bestLen < maxLen (guaranteed — a maxLen
+		// match breaks out below), a candidate whose byte at bestLen
+		// mismatches can only match <= bestLen bytes and cannot improve
+		// the result; skip its compare loop entirely.
+		if c < pos && data[c+bestLen] == data[pos+bestLen] {
+			l := matchLen(data, c, pos, maxLen)
 			if l > bestLen {
 				bestLen, bestOff = l, pos-c
 				if l == maxLen {
@@ -220,8 +247,22 @@ func (m *matcher) find(pos, reach, maxChain int) (offset, length, steps int) {
 	return bestOff, bestLen, steps
 }
 
+// matchLen returns how many of the first max bytes at data[a:] and
+// data[b:] are equal, comparing word-at-a-time with a scalar tail. Callers
+// guarantee a < b and b+max <= len(data), so every 8-byte load inside the
+// word loop (n+8 <= max) is in bounds for both positions. Overlapping
+// ranges (b-a < 8) are fine: each load reads the bytes as they are, which
+// is exactly what the scalar reference loop compares. Must return
+// identically to matchLenRef (differential + fuzz tested).
 func matchLen(data []byte, a, b, max int) int {
 	n := 0
+	for n+8 <= max {
+		x := binary.LittleEndian.Uint64(data[a+n:]) ^ binary.LittleEndian.Uint64(data[b+n:])
+		if x != 0 {
+			return n + bits.TrailingZeros64(x)>>3
+		}
+		n += 8
+	}
 	for n < max && data[a+n] == data[b+n] {
 		n++
 	}

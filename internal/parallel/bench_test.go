@@ -1,0 +1,40 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkPoolMap measures the pool's dispatch overhead at the engine's
+// working grain: one Map per 1024-item batch with a near-free body, so
+// ns/op is almost pure coordination cost (wake tokens, atomic claims,
+// check-out). Steady state must report 0 allocs/op — the alloc guard is
+// TestMapZeroAllocSteadyState; this benchmark tracks the time side.
+func BenchmarkPoolMap(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+		n       int
+	}{
+		{"w1n1024", 1, 1024},
+		{"w4n1024", 4, 1024},
+		{"w4n64", 4, 64},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			p := New(bc.workers)
+			defer p.Close()
+			var sink atomic.Int64
+			fn := func(i int) { sink.Add(1) }
+			p.Map(bc.n, fn) // warm-up
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Map(bc.n, fn)
+			}
+			b.StopTimer()
+			if got := sink.Load(); got != int64((b.N+1)*bc.n) {
+				b.Fatalf("executed %d items, want %d", got, int64((b.N+1)*bc.n))
+			}
+		})
+	}
+}

@@ -6,15 +6,29 @@
 // itself).
 //
 // A Pool's goroutines are started lazily on the first Map call and live
-// until Close, so per-batch fan-out does not pay goroutine creation —
-// unlike a spawn-per-call helper, which at 4 KB chunk granularity spends a
-// measurable share of its time in the scheduler.
+// until Close, so per-batch fan-out does not pay goroutine creation. Work
+// distribution is deliberately low-overhead: a Map publishes one job
+// (fn, n) and wakes the workers, and every participant — workers and the
+// calling goroutine alike — claims contiguous index batches off a shared
+// atomic counter until the range is exhausted. Steady-state Map calls
+// allocate nothing and perform no per-task channel operations (one
+// buffered-channel token per woken worker per Map, not per index), so the
+// pool stays profitable even at 4 KB-chunk granularity, where a
+// closure-per-span dispatch spends a measurable share of its time in the
+// scheduler and the allocator.
 package parallel
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// grainShards is how many claimable batches each worker's fair share is
+// split into: small enough that an unlucky worker stuck with expensive
+// items sheds load to the others, large enough that the atomic counter is
+// not contended per item.
+const grainShards = 4
 
 // Pool is a fixed-size persistent worker pool. The zero value is not
 // usable; build one with New. A Pool with one worker runs everything
@@ -23,8 +37,19 @@ import (
 type Pool struct {
 	workers int
 	start   sync.Once
-	tasks   chan func()
 	closed  sync.Once
+
+	// The published job. Written by Map before the wake tokens are sent
+	// and read by workers only while holding one, so the channel provides
+	// the happens-before edges; valid until Map returns.
+	fn    func(int)
+	n     int
+	grain int
+	next  atomic.Int64 // next unclaimed index
+	out   atomic.Int64 // woken workers that have not yet checked out
+
+	wake chan struct{} // one token per woken worker per Map
+	done chan struct{} // signaled by the last worker to check out
 }
 
 // New returns a pool with the given number of workers; workers <= 0 means
@@ -42,53 +67,81 @@ func (p *Pool) Workers() int { return p.workers }
 // launch starts the worker goroutines (once).
 func (p *Pool) launch() {
 	p.start.Do(func() {
-		p.tasks = make(chan func())
+		p.wake = make(chan struct{}, p.workers)
+		p.done = make(chan struct{}, 1)
 		for w := 0; w < p.workers-1; w++ {
 			go func() {
-				for fn := range p.tasks {
-					fn()
+				for range p.wake {
+					p.run()
+					if p.out.Add(-1) == 0 {
+						p.done <- struct{}{}
+					}
 				}
 			}()
 		}
 	})
 }
 
+// run claims contiguous index batches until the job's range is exhausted.
+func (p *Pool) run() {
+	fn, n, grain := p.fn, p.n, p.grain
+	for {
+		lo := int(p.next.Add(int64(grain))) - grain
+		if lo >= n {
+			return
+		}
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	}
+}
+
 // Map runs fn(i) for every i in [0, n) and returns when all calls have
-// completed. Work is split into contiguous spans, one per worker, and the
-// calling goroutine executes one span itself so a W-worker pool uses
-// exactly W threads. fn must be safe to call concurrently for distinct
+// completed. The calling goroutine always participates, so a W-worker pool
+// uses exactly W threads; workers are woken only when there are enough
+// batches to share. fn must be safe to call concurrently for distinct
 // indices and must only write state owned by its own index.
 func (p *Pool) Map(n int, fn func(int)) {
 	if n <= 0 {
 		return
 	}
-	spans := p.workers
-	if spans > n {
-		spans = n
-	}
-	if spans <= 1 {
+	if p.workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
 	p.launch()
-	var wg sync.WaitGroup
-	for s := 1; s < spans; s++ {
-		lo, hi := s*n/spans, (s+1)*n/spans
-		wg.Add(1)
-		p.tasks <- func() {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
+	grain := n / (p.workers * grainShards)
+	if grain < 1 {
+		grain = 1
+	}
+	// Never wake more workers than there are batches beyond the caller's
+	// own first claim; surplus wake-ups would only bounce off the counter.
+	helpers := p.workers - 1
+	if max := (n+grain-1)/grain - 1; helpers > max {
+		helpers = max
+	}
+	p.fn, p.n, p.grain = fn, n, grain
+	p.next.Store(0)
+	if helpers > 0 {
+		p.out.Store(int64(helpers))
+		for i := 0; i < helpers; i++ {
+			p.wake <- struct{}{}
 		}
 	}
-	// The caller works span 0 while the pool drains the rest.
-	for i := 0; i < n/spans; i++ {
-		fn(i)
+	p.run()
+	if helpers > 0 {
+		// Wait for every woken worker to check out: the job fields above
+		// are reused by the next Map, and completion of all fn calls is
+		// exactly "all participants returned from run".
+		<-p.done
 	}
-	wg.Wait()
+	p.fn = nil
 }
 
 // Close stops the worker goroutines. It is safe to call multiple times and
@@ -97,8 +150,8 @@ func (p *Pool) Map(n int, fn func(int)) {
 func (p *Pool) Close() {
 	p.closed.Do(func() {
 		p.start.Do(func() {}) // mark started so a late launch cannot race Close
-		if p.tasks != nil {
-			close(p.tasks)
+		if p.wake != nil {
+			close(p.wake)
 		}
 	})
 }

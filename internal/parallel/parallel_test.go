@@ -56,6 +56,52 @@ func TestDefaultWorkers(t *testing.T) {
 	}
 }
 
+// TestMapZeroAllocSteadyState: after warm-up, Map itself must not
+// allocate — the whole point of the persistent-worker, atomic-claim
+// dispatch (the engine calls Map once per batch on the 4 KB-chunk path).
+func TestMapZeroAllocSteadyState(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var sink atomic.Int64
+	fn := func(i int) { sink.Add(int64(i)) }
+	p.Map(256, fn) // warm-up: launch workers
+	allocs := testing.AllocsPerRun(100, func() { p.Map(256, fn) })
+	if allocs != 0 {
+		t.Fatalf("Map allocates %.1f objects/op steady-state, want 0", allocs)
+	}
+}
+
+// TestMapManyRoundsStress hammers the claim/check-out protocol: uneven
+// item costs, varying n (including n < workers), back-to-back rounds.
+func TestMapManyRoundsStress(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	var total atomic.Int64
+	rounds := 0
+	for _, n := range []int{1, 2, 3, 7, 8, 9, 63, 64, 1000} {
+		for r := 0; r < 200; r++ {
+			hit := make([]int32, n)
+			p.Map(n, func(i int) {
+				if i%17 == 0 {
+					for k := 0; k < 100; k++ {
+						total.Add(1)
+					}
+				}
+				atomic.AddInt32(&hit[i], 1)
+			})
+			for i := range hit {
+				if hit[i] != 1 {
+					t.Fatalf("n=%d round=%d: index %d visited %d times", n, r, i, hit[i])
+				}
+			}
+			rounds++
+		}
+	}
+	if rounds != 9*200 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+}
+
 func TestCloseIdempotentAndUnstarted(t *testing.T) {
 	p := New(4)
 	p.Close() // never started

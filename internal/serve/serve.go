@@ -57,13 +57,31 @@ type Config struct {
 type shard struct {
 	mu sync.Mutex
 	v  *volume.Volume
+	// payload and readBuf are the batch path's per-op staging buffers,
+	// reused across ops and Serve calls under mu. The volume retains
+	// neither: Write copies what it keeps and ReadInto appends into the
+	// caller's buffer.
+	payload []byte
+	readBuf []byte
+}
+
+// serveScratch holds the batch path's reusable partition and report
+// buffers. One Serve call owns it at a time (TryLock); a concurrent Serve
+// falls back to fresh allocations, so reuse never changes behavior.
+type serveScratch struct {
+	mu     sync.Mutex
+	queues [][]workload.Op
+	ops    []workload.Op // one backing array carved into per-shard queues
+	counts []int
+	per    []ShardReport
 }
 
 // Array is the sharded front-end. All methods are safe for concurrent use.
 type Array struct {
-	cfg    Config
-	blocks int64
-	shards []*shard
+	cfg     Config
+	blocks  int64
+	shards  []*shard
+	scratch serveScratch
 }
 
 // New builds an array of cfg.Shards independent volumes.
@@ -329,7 +347,43 @@ func (r *Report) String() string {
 // counted, not fatal: a serving front-end keeps serving.
 func (a *Array) Serve(ops []workload.Op, opt RunOptions) (*Report, error) {
 	n := int64(len(a.shards))
-	queues := make([][]workload.Op, n)
+	nsh := len(a.shards)
+
+	// Partition and report buffers come from the array's scratch when it is
+	// free; a concurrent Serve (legal — shards lock independently) just
+	// allocates its own set, so reuse is invisible to callers.
+	sc := &a.scratch
+	var queues [][]workload.Op
+	var backing []workload.Op
+	var counts []int
+	var per []ShardReport
+	if sc.mu.TryLock() {
+		defer sc.mu.Unlock()
+		if cap(sc.queues) < nsh {
+			sc.queues = make([][]workload.Op, nsh)
+		}
+		if cap(sc.counts) < nsh {
+			sc.counts = make([]int, nsh)
+		}
+		if cap(sc.per) < nsh {
+			sc.per = make([]ShardReport, nsh)
+		}
+		if cap(sc.ops) < len(ops) {
+			sc.ops = make([]workload.Op, len(ops))
+		}
+		queues, counts, per = sc.queues[:nsh], sc.counts[:nsh], sc.per[:nsh]
+		backing = sc.ops[:len(ops)]
+		clear(counts)
+		clear(per)
+	} else {
+		queues = make([][]workload.Op, nsh)
+		counts = make([]int, nsh)
+		per = make([]ShardReport, nsh)
+		backing = make([]workload.Op, len(ops))
+	}
+
+	// Count-then-fill: validate every op and size each shard's queue, then
+	// carve exact-capacity queues out of one backing array.
 	for i, op := range ops {
 		switch op.Kind {
 		case workload.OpWrite, workload.OpRead, workload.OpTrim:
@@ -339,6 +393,14 @@ func (a *Array) Serve(ops []workload.Op, opt RunOptions) (*Report, error) {
 		if op.LBA < 0 || op.LBA >= a.blocks {
 			return nil, fmt.Errorf("serve: op %d: lba %d outside [0,%d)", i, op.LBA, a.blocks)
 		}
+		counts[op.LBA%n]++
+	}
+	off := 0
+	for s := range queues {
+		queues[s] = backing[off:off : off+counts[s]]
+		off += counts[s]
+	}
+	for _, op := range ops {
 		s := op.LBA % n
 		op.LBA /= n // shard-local address
 		queues[s] = append(queues[s], op)
@@ -352,7 +414,6 @@ func (a *Array) Serve(ops []workload.Op, opt RunOptions) (*Report, error) {
 	if fill == 0 {
 		fill = 0.5
 	}
-	per := make([]ShardReport, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
@@ -370,7 +431,12 @@ func (a *Array) Serve(ops []workload.Op, opt RunOptions) (*Report, error) {
 	}
 	wg.Wait()
 
-	rep := &Report{Shards: len(a.shards), Ops: len(ops), PerShard: per}
+	// The report retains PerShard, so the scratch is copied out, never
+	// aliased.
+	perOut := make([]ShardReport, nsh)
+	copy(perOut, per)
+	rep := &Report{Shards: len(a.shards), Ops: len(ops), PerShard: perOut}
+	per = perOut
 	for i := range per {
 		rep.Errors += per[i].Errors
 		rep.Cleaned += per[i].Cleaned
@@ -406,10 +472,10 @@ func (a *Array) serveShard(i int, queue []workload.Op, opt RunOptions, fill floa
 		var err error
 		switch op.Kind {
 		case workload.OpWrite:
-			data := workload.UniqueChunk(opt.ContentSeed, op.Content, blockSize, fill)
-			_, err = s.v.Write(op.LBA, data)
+			s.payload = workload.UniqueChunkInto(s.payload[:0], opt.ContentSeed, op.Content, blockSize, fill)
+			_, err = s.v.Write(op.LBA, s.payload)
 		case workload.OpRead:
-			_, _, err = s.v.Read(op.LBA)
+			s.readBuf, _, err = s.v.ReadInto(s.readBuf[:0], op.LBA)
 		case workload.OpTrim:
 			_, err = s.v.Trim(op.LBA)
 		}

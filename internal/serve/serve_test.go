@@ -259,6 +259,123 @@ func TestServeConcurrentBatch(t *testing.T) {
 	}
 }
 
+// TestServeScratchReuseBitIdentical proves buffer reuse is invisible: a
+// Serve that reuses the warm scratch, a Serve whose scratch is cold, and a
+// Serve forced onto the fallback-allocation path (scratch held by someone
+// else, as during a concurrent Serve) all produce bit-identical reports
+// from identical array states.
+func TestServeScratchReuseBitIdentical(t *testing.T) {
+	ops := testOps(t)
+	mk := func() *Array {
+		a, err := New(testConfig(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	run := func(a *Array) []byte {
+		rep, err := a.Serve(ops, RunOptions{Clients: 3, ContentSeed: 9, CleanEvery: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+	warm, fallback := mk(), mk()
+	first := run(warm) // cold scratch
+	fallback.scratch.mu.Lock()
+	firstFB := run(fallback) // fallback allocations
+	fallback.scratch.mu.Unlock()
+	if !bytes.Equal(first, firstFB) {
+		t.Fatal("fallback-allocation Serve diverged from scratch Serve")
+	}
+	// Same state on both arrays now; second round exercises warm scratch vs
+	// cold scratch.
+	second := run(warm)       // warm scratch (reused queues, backing, per)
+	secondFB := run(fallback) // cold scratch
+	if !bytes.Equal(second, secondFB) {
+		t.Fatal("warm-scratch Serve diverged from cold-scratch Serve")
+	}
+	if bytes.Equal(first, second) {
+		t.Fatal("second batch should differ from the first (state advanced); test is vacuous")
+	}
+}
+
+// TestServeBatchMatchesDirect: the batch path's reused payload and read
+// buffers must leave the virtual clock and stats exactly where per-op
+// direct calls with freshly allocated buffers leave them.
+func TestServeBatchMatchesDirect(t *testing.T) {
+	ops := testOps(t)
+	cfg := testConfig(1)
+	batch, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := volume.New(cfg.Volume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := batch.Serve(ops, RunOptions{ContentSeed: 9, Fill: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case workload.OpWrite:
+			direct.Write(op.LBA, workload.UniqueChunk(9, op.Content, cfg.Volume.BlockSize, 0.5))
+		case workload.OpRead:
+			direct.Read(op.LBA)
+		case workload.OpTrim:
+			direct.Trim(op.LBA)
+		}
+	}
+	if rep.Elapsed != direct.Now() {
+		t.Fatalf("batch clock %v != direct clock %v", rep.Elapsed, direct.Now())
+	}
+	if !reflect.DeepEqual(rep.Merged, direct.Stats()) {
+		t.Fatalf("batch stats diverged from direct:\n%+v\n%+v", rep.Merged, direct.Stats())
+	}
+}
+
+// TestServeReadAllocCeiling guards the zero-alloc read path: once the
+// shard's read buffer and the Serve scratch are warm, a read-only batch
+// must stay under a small per-op allocation budget (reads decompress into
+// the reused buffer; only per-Serve bookkeeping may allocate).
+func TestServeReadAllocCeiling(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Volume.Faults = fault.Config{} // deterministic media, no retries
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const blocks = 64
+	for i := int64(0); i < blocks; i++ {
+		data := workload.UniqueChunk(5, int32(i), cfg.Volume.BlockSize, 0.5)
+		if _, err := a.Write(i, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reads := make([]workload.Op, 512)
+	for i := range reads {
+		reads[i] = workload.Op{Kind: workload.OpRead, LBA: int64(i % blocks)}
+	}
+	serve := func() {
+		if _, err := a.Serve(reads, RunOptions{Clients: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serve() // warm the scratch and the shard's read buffer
+	allocs := testing.AllocsPerRun(5, serve)
+	// Budget: well under one allocation per op. The old path allocated the
+	// decode output plus decode-time growth for every read (several/op).
+	if perOp := allocs / float64(len(reads)); perOp > 0.25 {
+		t.Fatalf("read path allocates %.2f objects/op after warm-up (%.0f total), want <= 0.25", perOp, allocs)
+	}
+}
+
 // TestServeConfigValidation rejects bad shapes at construction.
 func TestServeConfigValidation(t *testing.T) {
 	bad := []Config{

@@ -193,6 +193,11 @@ type Volume struct {
 
 	cache *blockCache
 
+	// compScratch is the reusable compression output buffer for the write
+	// path: the encoder appends into it, and only the exact-size retained
+	// blob is allocated per unique chunk.
+	compScratch []byte
+
 	// Observability. Latency histograms are always on (the closed-loop
 	// volume exists to measure latency); span recording needs Config.Obs.
 	obs      *obs.Recorder
@@ -447,18 +452,22 @@ func (v *Volume) Write(lba int64, data []byte) (time.Duration, error) {
 		v.stats.DedupHits++
 	} else {
 		// Unique: compress, append to the log, then index it.
-		var blob []byte
+		// Encode into the reusable scratch buffer, then retain an
+		// exact-size copy: the blob lives in v.blobs for the chunk's
+		// lifetime, so right-sizing it beats keeping the encoder's
+		// capacity-grown slice alive.
 		var cycles float64
 		spanName := "store-raw"
 		if v.cfg.Compress {
 			var st lz.Stats
-			blob, st = lz.CompressCodec(v.cfg.Codec, nil, data, v.cfg.LZ)
+			v.compScratch, st = lz.CompressCodec(v.cfg.Codec, v.compScratch[:0], data, v.cfg.LZ)
 			cycles = cost.CompressCycles(st.Positions, st.SearchSteps, st.DstBytes)
 			spanName = "compress"
 		} else {
-			blob = lz.StoreRaw(nil, data)
-			cycles = cost.MemcpyCycles(len(blob))
+			v.compScratch = lz.StoreRaw(v.compScratch[:0], data)
+			cycles = cost.MemcpyCycles(len(v.compScratch))
 		}
+		blob := append([]byte(nil), v.compScratch...)
 		loc, err := v.alloc(len(blob))
 		if err != nil {
 			return v.failWrite(start, t, lba), err
@@ -603,10 +612,20 @@ func (v *Volume) deref(fp dedup.Fingerprint) {
 // whether it succeeds or fails — retry/backoff time spent on a read that
 // ultimately errors must not vanish from the latency summaries.
 func (v *Volume) Read(lba int64) ([]byte, time.Duration, error) {
+	return v.ReadInto(nil, lba)
+}
+
+// ReadInto is Read appending the block's payload to dst (reusing dst's
+// backing array when its capacity suffices), so closed-loop callers that
+// issue many reads can recycle one buffer instead of allocating a block per
+// request. On error the original dst is returned unchanged; virtual-time
+// accounting is identical to Read.
+func (v *Volume) ReadInto(dst []byte, lba int64) ([]byte, time.Duration, error) {
 	if lba < 0 || lba >= v.cfg.Blocks {
-		return nil, 0, fmt.Errorf("volume: lba %d outside [0,%d)", lba, v.cfg.Blocks)
+		return dst, 0, fmt.Errorf("volume: lba %d outside [0,%d)", lba, v.cfg.Blocks)
 	}
 	start := v.now
+	base := len(dst)
 	fp, ok := v.lbaMap[lba]
 	if !ok {
 		// Unmapped: the array synthesizes zeros without touching media.
@@ -615,7 +634,7 @@ func (v *Volume) Read(lba int64) ([]byte, time.Duration, error) {
 		if v.obs != nil {
 			v.obs.SpanN(v.laneOps, "read", start, start, "lba", lba)
 		}
-		return make([]byte, v.cfg.BlockSize), 0, nil
+		return appendZeros(dst, v.cfg.BlockSize), 0, nil
 	}
 	// Content-addressed cache: a hit skips the SSD and the decoder, paying
 	// one staging copy.
@@ -629,9 +648,7 @@ func (v *Volume) Read(lba int64) ([]byte, time.Duration, error) {
 		if v.obs != nil {
 			v.obs.SpanN(v.laneOps, "read", start, t, "lba", lba)
 		}
-		out := make([]byte, len(data))
-		copy(out, data)
-		return out, t - start, nil
+		return append(dst, data...), t - start, nil
 	}
 
 	ref := v.chunks[fp]
@@ -643,15 +660,15 @@ func (v *Volume) Read(lba int64) ([]byte, time.Duration, error) {
 	last := (ref.loc + int64(ref.size) - 1) / pageSize
 	t, err := v.readDrive(v.now, first, int(last-first+1))
 	if err != nil {
-		return nil, v.failRead(start, t, lba), fmt.Errorf("volume: lba %d: %w", lba, err)
+		return dst, v.failRead(start, t, lba), fmt.Errorf("volume: lba %d: %w", lba, err)
 	}
-	out, err := lz.Decompress(nil, blob)
+	out, err := lz.Decompress(dst, blob)
 	if err != nil {
-		return nil, v.failRead(start, t, lba), fmt.Errorf("volume: lba %d: %w", lba, err)
+		return dst, v.failRead(start, t, lba), fmt.Errorf("volume: lba %d: %w", lba, err)
 	}
-	ds, t := v.cpu.Run(t, v.cpu.Cost.DecompressCycles(len(out))+v.cpu.Cost.StageOverheadCycles)
+	ds, t := v.cpu.Run(t, v.cpu.Cost.DecompressCycles(len(out)-base)+v.cpu.Cost.StageOverheadCycles)
 	v.cpuSpan("decompress", ds, t)
-	v.cache.put(fp, out)
+	v.cache.put(fp, out[base:])
 	v.stats.Reads++
 	v.now = t
 	v.histR.Observe(t - start)
@@ -659,6 +676,19 @@ func (v *Volume) Read(lba int64) ([]byte, time.Duration, error) {
 		v.obs.SpanN(v.laneOps, "read", start, t, "lba", lba)
 	}
 	return out, t - start, nil
+}
+
+// appendZeros appends n zero bytes to dst, reusing capacity when possible.
+func appendZeros(dst []byte, n int) []byte {
+	base := len(dst)
+	if cap(dst) >= base+n {
+		out := dst[:base+n]
+		clear(out[base:])
+		return out
+	}
+	out := make([]byte, base+n)
+	copy(out, dst)
+	return out
 }
 
 // failRead commits a failed read to the clock, the stats, and the latency

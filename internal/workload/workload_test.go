@@ -10,6 +10,32 @@ import (
 	"inlinered/internal/lz"
 )
 
+// TestUniqueChunkIntoMatchesUniqueChunk: the reusing variant must produce
+// byte-identical payloads whether it recycles a dirty buffer or allocates,
+// for any fill — the serve report's bit-identity depends on it.
+func TestUniqueChunkIntoMatchesUniqueChunk(t *testing.T) {
+	scratch := make([]byte, 4096)
+	for i := range scratch {
+		scratch[i] = 0xAB // dirty: UniqueChunkInto must fully overwrite
+	}
+	for _, fill := range []float64{0, 0.25, 0.5, 1} {
+		for id := int32(0); id < 8; id++ {
+			want := UniqueChunk(11, id, 4096, fill)
+			got := UniqueChunkInto(scratch[:0], 11, id, 4096, fill)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("fill=%g id=%d: reused-buffer payload differs", fill, id)
+			}
+			if len(got) != 4096 {
+				t.Fatalf("fill=%g id=%d: length %d", fill, id, len(got))
+			}
+			small := UniqueChunkInto(make([]byte, 0, 16), 11, id, 4096, fill)
+			if !bytes.Equal(small, want) {
+				t.Fatalf("fill=%g id=%d: undersized-dst payload differs", fill, id)
+			}
+		}
+	}
+}
+
 func spec() Spec {
 	return Spec{
 		TotalBytes: 4 << 20,
