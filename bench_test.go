@@ -64,9 +64,12 @@ func runExperiment(b *testing.B, id string, metrics map[string]string) {
 // plane end to end: one full CPU-only dedup+compress run over a 64 MiB
 // stream (16 MiB with -short), reported in actual elapsed time and
 // allocations. The /serial case pins Parallelism to one worker; /parallel
-// uses every host core. Their Reports are bit-identical (see
-// TestParallelismDeterminism); only the wall clock and allocation profile
-// differ — this is the benchmark scripts/bench-compare.sh guards.
+// uses every host core; /cdc is the parallel case with content-defined
+// (Gear) chunking in place of fixed 4 KB, so the chunker's multi-byte scan
+// shows up in an end-to-end number. Reports are bit-identical across
+// Parallelism (see TestParallelismDeterminism); only the wall clock and
+// allocation profile differ — these are the benchmarks
+// scripts/bench-compare.sh guards.
 func BenchmarkDataPlaneWallClock(b *testing.B) {
 	bytes := int64(64 << 20)
 	if testing.Short() {
@@ -75,9 +78,11 @@ func BenchmarkDataPlaneWallClock(b *testing.B) {
 	for _, bc := range []struct {
 		name        string
 		parallelism int
+		cdc         bool
 	}{
-		{"serial", 1},
-		{"parallel", 0}, // 0 = NumCPU
+		{"serial", 1, false},
+		{"parallel", 0, false}, // 0 = NumCPU
+		{"cdc", 0, true},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			stream, err := NewStream(StreamSpec{
@@ -93,6 +98,7 @@ func BenchmarkDataPlaneWallClock(b *testing.B) {
 				stream.Reset()
 				rep, err := Run(PaperPlatform(), Options{
 					Mode: CPUOnly, Parallelism: bc.parallelism,
+					ContentDefined: bc.cdc,
 				}, stream)
 				if err != nil {
 					b.Fatal(err)

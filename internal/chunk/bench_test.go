@@ -3,33 +3,72 @@ package chunk
 import (
 	"bytes"
 	"io"
-	"math/rand"
 	"testing"
 )
 
-func benchData() []byte {
-	data := make([]byte, 1<<20)
-	rand.New(rand.NewSource(1)).Read(data)
-	return data
-}
+// The chunker benchmarks run over the shared 1 MiB corpora from
+// gearref_test.go rather than purely random bytes: boundary density — and
+// with it how far the pre-Min skip and the multi-byte step get to run —
+// depends on content. Random data cuts near Avg; compressible stripes cut
+// on the stripe cadence; zero runs coast to Max (the best case for the
+// skip); the shifted corpus pins content-defined behavior. Every benchmark
+// reports allocations, so an allocation regression in the scan or the fill
+// path fails the bench-compare gate even when ns/op noise hides it.
 
-func BenchmarkFixed4K(b *testing.B) {
-	data := benchData()
+// benchGear drains a Gear chunker over data in the engine's steady-state
+// configuration — pooled payload buffers, reused reader — so the benchmark
+// measures the chunker (scan + payload copy + read-ahead fill), not the
+// allocator zeroing fresh 4 KB payloads per chunk.
+func benchGear(b *testing.B, data []byte, ref bool) {
+	pool := &testPool{}
+	r := bytes.NewReader(data)
+	g := NewGear(r, DefaultGearConfig())
+	g.ref = ref
+	g.SetBuffers(pool)
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Split(NewFixed(bytes.NewReader(data), 4096)); err != nil {
-			b.Fatal(err)
+		r.Reset(data)
+		g.Reset(r)
+		if drain(b, g, pool) == 0 {
+			b.Fatal("no chunks")
 		}
 	}
 }
 
+// BenchmarkGearCDC measures the content-defined chunker on each corpus,
+// through the multi-byte fast path.
 func BenchmarkGearCDC(b *testing.B) {
-	data := benchData()
-	b.SetBytes(int64(len(data)))
-	for i := 0; i < b.N; i++ {
-		if _, err := Split(NewGear(bytes.NewReader(data), DefaultGearConfig())); err != nil {
-			b.Fatal(err)
-		}
+	for _, c := range goldenCorpora() {
+		b.Run(c.name, func(b *testing.B) { benchGear(b, c.data, false) })
+	}
+}
+
+// BenchmarkGearCDCRef is the same measurement through the retained scalar
+// reference scan — the denominator for the chunker speedup the
+// bench-compare script stamps into the baseline and BENCH_*.json.
+func BenchmarkGearCDCRef(b *testing.B) {
+	for _, c := range goldenCorpora() {
+		b.Run(c.name, func(b *testing.B) { benchGear(b, c.data, true) })
+	}
+}
+
+// BenchmarkFixed4K chunks the same corpora at a fixed 4 KB grain — content
+// cannot change the work, but the corpus variants keep the two chunkers'
+// numbers directly comparable.
+func BenchmarkFixed4K(b *testing.B) {
+	for _, c := range goldenCorpora() {
+		b.Run(c.name, func(b *testing.B) {
+			b.SetBytes(int64(len(c.data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Split(NewFixed(bytes.NewReader(c.data), 4096)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -71,34 +110,37 @@ func drain(b *testing.B, ck Chunker, pool *testPool) int {
 // BenchmarkFixed4KPooled measures the allocs/op floor of the fixed chunker
 // with recycled payload buffers (pair with BenchmarkFixed4K for the delta).
 func BenchmarkFixed4KPooled(b *testing.B) {
-	data := benchData()
+	data := goldenCorpora()[0].data
 	pool := &testPool{}
 	r := bytes.NewReader(data)
+	f := NewFixed(r, 4096)
+	f.SetBuffers(pool)
 	b.SetBytes(int64(len(data)))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Reset(data)
-		f := NewFixed(r, 4096)
-		f.SetBuffers(pool)
+		f.Reset(r)
 		drain(b, f, pool)
 	}
 }
 
 // BenchmarkGearCDCPooled measures the allocs/op floor of the Gear chunker
-// with recycled payload buffers and the fixed read-ahead buffer — the
-// regression guard for Gear.fill's per-call temporary.
+// with recycled payload buffers, the fixed read-ahead buffer, and Reset
+// between streams — the regression guard for any per-chunk or per-stream
+// allocation sneaking back into the read path.
 func BenchmarkGearCDCPooled(b *testing.B) {
-	data := benchData()
+	data := goldenCorpora()[0].data
 	pool := &testPool{}
 	r := bytes.NewReader(data)
+	g := NewGear(r, DefaultGearConfig())
+	g.SetBuffers(pool)
 	b.SetBytes(int64(len(data)))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Reset(data)
-		g := NewGear(r, DefaultGearConfig())
-		g.SetBuffers(pool)
+		g.Reset(r)
 		drain(b, g, pool)
 	}
 }

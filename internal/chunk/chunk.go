@@ -61,6 +61,15 @@ func NewFixed(r io.Reader, size int) *Fixed {
 // drawn from it and the caller must Put them back when done.
 func (f *Fixed) SetBuffers(b Buffers) { f.bufs = b }
 
+// Reset re-targets the chunker at a new stream, keeping its configuration
+// and buffer pool, so long-lived pipelines chunk many streams without
+// reconstructing state.
+func (f *Fixed) Reset(r io.Reader) {
+	f.r = r
+	f.offset = 0
+	f.done = false
+}
+
 // Next returns the next fixed-size chunk.
 func (f *Fixed) Next() (Chunk, error) {
 	if f.done {
@@ -107,11 +116,16 @@ type Gear struct {
 	cfg   GearConfig
 	table [256]uint64
 	mask  uint64
+	ref   bool // force the scalar reference scan (differential tests/benches)
 	r     io.Reader
 	// The read-ahead window lives in a fixed buffer allocated once at
 	// construction: read[start:end] is the unconsumed data. fill compacts
 	// the window to the front instead of growing, so steady-state chunking
-	// performs zero read-path allocations.
+	// performs zero read-path allocations. The buffer is several Max
+	// lengths long so compaction runs once per readSlack consumed Max
+	// windows, not once per chunk — at 2*Max every byte was memmoved an
+	// extra time through the compaction, a tax both the fast and the
+	// reference scan paid.
 	read   []byte
 	start  int
 	end    int
@@ -130,7 +144,7 @@ func NewGear(r io.Reader, cfg GearConfig) *Gear {
 	if cfg.Avg&(cfg.Avg-1) != 0 {
 		panic(fmt.Sprintf("chunk: Avg must be a power of two, got %d", cfg.Avg))
 	}
-	g := &Gear{cfg: cfg, r: r, read: make([]byte, 2*cfg.Max)}
+	g := &Gear{cfg: cfg, r: r, read: make([]byte, (readSlack+1)*cfg.Max)}
 	// The mask selects log2(Avg) bits in the high half of the hash so the
 	// expected distance between boundaries is Avg.
 	bits := 0
@@ -154,6 +168,16 @@ func NewGear(r io.Reader, cfg GearConfig) *Gear {
 // drawn from it and the caller must Put them back when done.
 func (g *Gear) SetBuffers(b Buffers) { g.bufs = b }
 
+// Reset re-targets the chunker at a new stream, keeping its gear table,
+// read-ahead buffer, and buffer pool: a steady-state pipeline chunks any
+// number of streams with zero construction allocations.
+func (g *Gear) Reset(r io.Reader) {
+	g.r = r
+	g.start, g.end = 0, 0
+	g.offset = 0
+	g.eof = false
+}
+
 // Next returns the next content-defined chunk.
 func (g *Gear) Next() (Chunk, error) {
 	if err := g.fill(g.cfg.Max); err != nil {
@@ -172,8 +196,163 @@ func (g *Gear) Next() (Chunk, error) {
 	return c, nil
 }
 
+// readSlack is how many Max-length windows the read-ahead buffer holds
+// beyond the one fill must guarantee: compaction copies at most Max bytes
+// once per readSlack*Max consumed, so the amortized compaction cost is
+// 1/readSlack of a memmove per byte instead of a full one.
+const readSlack = 7
+
+// gearWindow is how many trailing bytes the 64-bit Gear state can depend
+// on: every step shifts the hash left one bit, so a byte's table
+// contribution has been shifted out entirely (mod 2^64, not just in the
+// masked bits) after 64 steps. Seeding the rolling state from the
+// gearWindow bytes before the first testable position therefore reproduces
+// the full-prefix hash value exactly at every position from Min onward.
+const gearWindow = 64
+
 // findBoundary returns the cut point for the front of buf.
+//
+// This is the multi-byte fast path (the chunker's matchLen moment): cut
+// points before Min are suppressed, and the hash at any position depends
+// only on the last gearWindow bytes, so the scan skips the pre-Min prefix
+// outright — it seeds the state from buf[Min-1-gearWindow : Min-1] instead
+// of hashing bytes that can never be declared a cut. Because Next calls
+// findBoundary afresh on each chunk, this is also the skip-ahead after a
+// cut: the scan of the next chunk restarts at offset+Min-gearWindow rather
+// than re-walking the new chunk's head. The hot loop then folds eight
+// table lookups per unrolled iteration, written as h*2+t so the update
+// compiles to a single fused lea: the rolling state's loop-carried
+// dependency drops from two cycles per byte (shl+add) to one. Each
+// position's mask test is a compare the branch predictor retires as
+// never-taken (a cut fires once per Avg bytes); folding the eight tests
+// into one branchless combine per step is possible — the algebra allows
+// it — but measured slower, because the flag arithmetic occupies the
+// issue ports the hash chain needs, while predicted-untaken branches are
+// effectively free (see DESIGN.md "Chunker hot loop"). Boundaries are
+// bit-identical to the retained scalar scan (findBoundaryRef); the
+// differential, fuzz, and golden tests in gearref_test.go hold the two
+// together.
 func (g *Gear) findBoundary(buf []byte) int {
+	n := len(buf)
+	if n <= g.cfg.Min {
+		return n
+	}
+	if g.ref {
+		return g.findBoundaryRef(buf)
+	}
+	limit := n
+	if limit > g.cfg.Max {
+		limit = g.cfg.Max
+	}
+	table := &g.table
+	mask := g.mask
+	// first is the first byte index whose hash may declare a cut (cut
+	// position i+1 >= Min). Seed the rolling state from the window-length
+	// bytes before it; older bytes cannot influence the hash there.
+	first := g.cfg.Min - 1
+	seed := first - gearWindow
+	if seed < 0 {
+		seed = 0
+	}
+	var h uint64
+	for _, b := range buf[seed:first] {
+		h = h*2 + table[b]
+	}
+	i := first
+	// runGate suppresses run probing until a position where a full
+	// gearWindow-length run could exist again: when a backward probe finds
+	// a mismatch at index j, no all-identical window can end before
+	// j+gearWindow, so probing again earlier is wasted work (striped
+	// half-compressible data would otherwise pay a failed probe per word).
+	runGate := 0
+	for i+8 <= limit {
+		s := buf[i : i+8 : i+8]
+		// Constant-run fast path: h ← 2h + t has fixed point h = -t
+		// (mod 2^64), so after gearWindow identical bytes b the hash is
+		// pinned at -table[b] no matter how long the run continues. If
+		// that pinned value fails the mask test, no position deeper in
+		// the run can be a cut — skip the run a word at a time instead
+		// of re-hashing it. Zero-filled and sparse regions (VM images,
+		// preallocated files) are exactly this shape.
+		if v := le64(s); v == v>>8|v<<56 && i >= runGate && i >= gearWindow {
+			b := v & 0xff
+			if (-table[b])&mask != 0 {
+				j := i - 1
+				for lo := i - gearWindow; j >= lo && buf[j] == byte(b); j-- {
+				}
+				if j < i-gearWindow {
+					// The gearWindow bytes before i are all b, so h is
+					// already -table[b] and every position covered by
+					// an all-b window is cut-free; advance while whole
+					// words keep matching. h needs no update: -t is
+					// the fixed point the skipped steps would
+					// reproduce.
+					i += 8
+					for i+8 <= limit && le64(buf[i:i+8:i+8]) == v {
+						i += 8
+					}
+					continue
+				}
+				runGate = j + gearWindow
+			}
+		}
+		h = h*2 + table[s[0]]
+		if h&mask == 0 {
+			return i + 1
+		}
+		h = h*2 + table[s[1]]
+		if h&mask == 0 {
+			return i + 2
+		}
+		h = h*2 + table[s[2]]
+		if h&mask == 0 {
+			return i + 3
+		}
+		h = h*2 + table[s[3]]
+		if h&mask == 0 {
+			return i + 4
+		}
+		h = h*2 + table[s[4]]
+		if h&mask == 0 {
+			return i + 5
+		}
+		h = h*2 + table[s[5]]
+		if h&mask == 0 {
+			return i + 6
+		}
+		h = h*2 + table[s[6]]
+		if h&mask == 0 {
+			return i + 7
+		}
+		h = h*2 + table[s[7]]
+		if h&mask == 0 {
+			return i + 8
+		}
+		i += 8
+	}
+	for ; i < limit; i++ {
+		h = h*2 + table[buf[i]]
+		if h&mask == 0 {
+			return i + 1
+		}
+	}
+	return limit
+}
+
+// le64 is binary.LittleEndian.Uint64 spelled so the compiler keeps it a
+// single load in the hot loop.
+func le64(s []byte) uint64 {
+	_ = s[7]
+	return uint64(s[0]) | uint64(s[1])<<8 | uint64(s[2])<<16 | uint64(s[3])<<24 |
+		uint64(s[4])<<32 | uint64(s[5])<<40 | uint64(s[6])<<48 | uint64(s[7])<<56
+}
+
+// findBoundaryRef is the original byte-at-a-time scan, retained as the
+// reference findBoundary must agree with exactly — the same differential
+// pattern that guards the word-wise lz.matchLen. The hash rolls over the
+// whole pre-Min prefix (so the boundary decision depends only on content)
+// but no cut is declared before Min.
+func (g *Gear) findBoundaryRef(buf []byte) int {
 	n := len(buf)
 	if n <= g.cfg.Min {
 		return n
@@ -183,8 +362,6 @@ func (g *Gear) findBoundary(buf []byte) int {
 		limit = g.cfg.Max
 	}
 	var h uint64
-	// The hash still rolls over the pre-Min prefix so the boundary decision
-	// depends only on content, but no cut is declared before Min.
 	for i := 0; i < limit; i++ {
 		h = h<<1 + g.table[buf[i]]
 		if i+1 >= g.cfg.Min && h&g.mask == 0 {

@@ -70,10 +70,11 @@ type Engine struct {
 	// pool fans real computation out across host cores, and the buffer
 	// pools recycle chunk payloads and blob destinations so the steady
 	// state allocates nothing per chunk.
-	par       int            // host workers (Config.Parallelism; 0 → NumCPU)
-	pool      *parallel.Pool // persistent workers for compression fan-out
-	chunkBufs bufPool        // chunk payload buffers (chunker → pipeline)
-	blobBufs  bufPool        // compression destination buffers
+	par       int                // host workers (Config.Parallelism; 0 → NumCPU)
+	pool      *parallel.Pool     // persistent workers for hash/compress fan-out
+	hasher    *dedup.BatchHasher // batched fingerprinting through pool
+	chunkBufs bufPool            // chunk payload buffers (chunker → pipeline)
+	blobBufs  bufPool            // compression destination buffers
 
 	// Per-batch scratch, reused across batches.
 	ready       []time.Duration            // stage-2 ready times (hashEnd copy)
@@ -236,6 +237,7 @@ func NewEngine(plat Platform, cfg Config) (*Engine, error) {
 		e.par = runtime.NumCPU()
 	}
 	e.pool = parallel.New(e.par)
+	e.hasher = dedup.NewBatchHasher(e.pool)
 	e.preFn = func(k int) {
 		i := e.uniq[k]
 		c := e.preChunks[i]
@@ -436,7 +438,7 @@ func (e *Engine) hashBatch(chunks [][]byte) *hashedBatch {
 		hb = &hashedBatch{}
 	}
 	hb.chunks = chunks
-	hb.fps = dedup.ParallelSumInto(hb.fps, chunks, e.par)
+	hb.fps = e.hasher.SumInto(hb.fps, chunks)
 	if cap(hb.hashEnd) >= len(chunks) {
 		hb.hashEnd = hb.hashEnd[:len(chunks)]
 	} else {

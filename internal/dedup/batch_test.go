@@ -1,0 +1,73 @@
+package dedup
+
+import (
+	"math/rand"
+	"testing"
+
+	"inlinered/internal/parallel"
+)
+
+func TestSumBatchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	chunks := make([][]byte, 301)
+	for i := range chunks {
+		chunks[i] = make([]byte, rng.Intn(4096))
+		rng.Read(chunks[i])
+	}
+	want := make([]Fingerprint, len(chunks))
+	for i, c := range chunks {
+		want[i] = Sum(c)
+	}
+	for _, workers := range []int{1, 2, 7, 16} {
+		pool := parallel.New(workers)
+		got := SumBatch(pool, chunks)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d chunk %d mismatch", workers, i)
+			}
+		}
+		pool.Close()
+	}
+}
+
+func TestBatchHasherReusesDst(t *testing.T) {
+	pool := parallel.New(2)
+	defer pool.Close()
+	h := NewBatchHasher(pool)
+	if got := h.SumInto(nil, nil); len(got) != 0 {
+		t.Fatal("empty batch should produce empty result")
+	}
+	big := [][]byte{{1}, {2}, {3}, {4}}
+	first := h.SumInto(nil, big)
+	// A smaller follow-up batch must reuse the same backing array.
+	small := h.SumInto(first, big[:2])
+	if &first[0] != &small[0] {
+		t.Fatal("SumInto reallocated although capacity sufficed")
+	}
+	for i, c := range big[:2] {
+		if small[i] != Sum(c) {
+			t.Fatalf("chunk %d mismatch after reuse", i)
+		}
+	}
+}
+
+// TestBatchHasherSteadyStateAllocFree pins the zero-alloc dispatch claim:
+// once the fingerprint slice has grown to batch size, repeated SumInto
+// calls allocate nothing.
+func TestBatchHasherSteadyStateAllocFree(t *testing.T) {
+	pool := parallel.New(1) // inline execution keeps AllocsPerRun exact
+	defer pool.Close()
+	h := NewBatchHasher(pool)
+	chunks := make([][]byte, 64)
+	for i := range chunks {
+		chunks[i] = make([]byte, 512)
+		chunks[i][0] = byte(i)
+	}
+	var fps []Fingerprint
+	fps = h.SumInto(fps, chunks)
+	if avg := testing.AllocsPerRun(50, func() {
+		fps = h.SumInto(fps, chunks)
+	}); avg != 0 {
+		t.Fatalf("steady-state SumInto allocates %v per batch, want 0", avg)
+	}
+}

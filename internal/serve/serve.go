@@ -397,7 +397,7 @@ func (a *Array) Serve(ops []workload.Op, opt RunOptions) (*Report, error) {
 	}
 	off := 0
 	for s := range queues {
-		queues[s] = backing[off:off : off+counts[s]]
+		queues[s] = backing[off : off : off+counts[s]]
 		off += counts[s]
 	}
 	for _, op := range ops {

@@ -1,17 +1,27 @@
 #!/usr/bin/env bash
-# bench-compare.sh — guard the wall-clock benchmarks against regressions.
+# bench-compare.sh — guard the wall-clock benchmarks against regressions and
+# emit the machine-readable benchmark trajectory.
 #
-# Runs BenchmarkDataPlaneWallClock and BenchmarkServeWallClock and compares
-# them with the checked-in baseline (bench_baseline.txt, recorded with
+# Runs BenchmarkDataPlaneWallClock and BenchmarkServeWallClock (root
+# package) plus the chunker (BenchmarkGearCDC*) and batch-fingerprint
+# (BenchmarkSumBatch) microbenchmarks, and compares them with the
+# checked-in baseline (bench_baseline.txt, recorded with
 # scripts/bench-compare.sh --record on the reference machine). Uses
-# benchstat when it is on PATH;
-# otherwise falls back to a plain geomean comparison of ns/op and
-# allocs/op with a tolerance, so CI needs no extra tooling.
+# benchstat when it is on PATH; otherwise falls back to a plain geomean
+# comparison of ns/op and allocs/op with a tolerance, so CI needs no extra
+# tooling.
 #
 # Both units GATE: a >TIME_TOLERANCE_PCT ns/op or >ALLOC_TOLERANCE_PCT
 # allocs/op geomean regression exits non-zero. Compare on the machine that
 # recorded the baseline (or re-record); wall time is not portable across
 # hosts.
+#
+# Every run (compare or --record) also writes BENCH_<n>.json — a
+# github-action-benchmark data.js-style snapshot (per-benchmark geomeans
+# for ns/op, MB/s, and allocs/op, plus the headline ratios) keyed to the
+# current commit. <n> defaults to the PR count in CHANGES.md; override
+# with BENCH_PR=<n> or BENCH_OUT=<path>. CI uploads the file as an
+# artifact so the repo accumulates one trajectory point per PR.
 #
 # Usage:
 #   scripts/bench-compare.sh            # compare against bench_baseline.txt
@@ -26,11 +36,16 @@ cd "$(dirname "$0")/.."
 BASELINE=bench_baseline.txt
 BENCH='BenchmarkDataPlaneWallClock|BenchmarkServeWallClock'
 # Every guarded benchmark/subbenchmark pair, for the fallback comparison.
+# A trailing slash scopes a prefix to its own subbenchmarks only
+# (BenchmarkGearCDC/ does not match BenchmarkGearCDCRef/...).
 CASES=(
     BenchmarkDataPlaneWallClock/serial
     BenchmarkDataPlaneWallClock/parallel
+    BenchmarkDataPlaneWallClock/cdc
     BenchmarkServeWallClock/shards1
     BenchmarkServeWallClock/shards4
+    BenchmarkGearCDC/
+    BenchmarkSumBatch
 )
 COUNT="${BENCH_COUNT:-5}"
 # Both tolerances gate the exit status. Allocation counts are deterministic
@@ -48,15 +63,29 @@ fi
 run_bench() {
     go test . -run '^$' -bench "$BENCH" -benchtime 2x -count "$COUNT" -timeout 30m \
         "${PROFILE_ARGS[@]}"
+    # Microbenchmarks use iteration-count benchtimes so each of the COUNT
+    # repetitions does identical work (time-based -benchtime would resize
+    # N between reps and skew the geomean).
+    go test ./internal/chunk -run '^$' -bench 'BenchmarkGearCDC' \
+        -benchtime 100x -count "$COUNT" -timeout 20m
+    go test ./internal/dedup -run '^$' -bench 'BenchmarkSumBatch|BenchmarkParallelSumBatch' \
+        -benchtime 20x -count "$COUNT" -timeout 20m
 }
 
 # geomean <file> <benchmark-substring> <unit>
 # Benchmark lines: Name  N  ns/op  [MB/s]  B/op  allocs/op
+# Zero samples (the pooled paths really do 0 allocs/op) are clamped to a
+# tiny epsilon so the log-space mean stays finite; the result still prints
+# as 0.
 geomean() {
     awk -v name="$2" -v unit="$3" '
         $1 ~ name {
             for (i = 2; i <= NF; i++) {
-                if ($i == unit) { sum += log($(i-1)); n++ }
+                if ($i == unit) {
+                    v = $(i-1) + 0
+                    if (v < 1e-9) v = 1e-9
+                    sum += log(v); n++
+                }
             }
         }
         END {
@@ -73,6 +102,72 @@ ratio() {
     awk -v a="$a" -v b="$b" 'BEGIN { printf "%.2f", a / b }'
 }
 
+# write_json <raw-bench-output> — emit BENCH_<n>.json in the
+# github-action-benchmark data.js shape: one "Go Benchmark" entry for the
+# current commit, one bench object per (benchmark, unit) pair (ns/op keeps
+# the plain name; other units get " - <unit>" appended, as the action's go
+# parser does), each value the geomean over the COUNT repetitions, plus
+# the headline ratios as synthetic "ratio: ..." benches with unit "x".
+write_json() {
+    local raw="$1" out n now commit cdate msg
+    n="${BENCH_PR:-$(grep -c '^PR ' CHANGES.md 2>/dev/null || echo 0)}"
+    out="${BENCH_OUT:-BENCH_${n}.json}"
+    now="$(($(date -u +%s) * 1000))"
+    commit="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+    cdate="$(git log -1 --format=%cI 2>/dev/null || date -u +%FT%TZ)"
+    msg="$(git log -1 --format=%s 2>/dev/null | tr -d '"\\' | cut -c1-120 || true)"
+    {
+        printf '{\n'
+        printf '  "lastUpdate": %s,\n' "$now"
+        printf '  "repoUrl": "",\n'
+        printf '  "entries": {\n'
+        printf '    "Go Benchmark": [\n'
+        printf '      {\n'
+        printf '        "commit": {"id": "%s", "message": "%s", "timestamp": "%s", "url": ""},\n' \
+            "$commit" "$msg" "$cdate"
+        printf '        "date": %s,\n' "$now"
+        printf '        "tool": "go",\n'
+        printf '        "benches": [\n'
+        awk '
+            /^Benchmark/ {
+                name = $1; sub(/-[0-9]+$/, "", name)
+                for (i = 3; i <= NF; i++) {
+                    u = $i
+                    if (u == "ns/op" || u == "MB/s" || u == "allocs/op" || u == "allocs/storage-op") {
+                        key = name "|" u
+                        if (!(key in cnt)) order[++n] = key
+                        v = $(i-1) + 0
+                        if (v < 1e-9) v = 1e-9
+                        lsum[key] += log(v); cnt[key]++
+                    }
+                }
+            }
+            END {
+                for (k = 1; k <= n; k++) {
+                    key = order[k]; split(key, p, "|")
+                    v = exp(lsum[key] / cnt[key])
+                    if (v < 1e-6) v = 0
+                    nm = p[1]
+                    if (p[2] != "ns/op") nm = nm " - " p[2]
+                    printf "          {\"name\": \"%s\", \"value\": %g, \"unit\": \"%s\", \"extra\": \"geomean of %d\"},\n", \
+                        nm, v, p[2], cnt[key]
+                }
+            }' "$raw"
+        printf '          {"name": "ratio: DataPlaneWallClock serial/parallel", "value": %s, "unit": "x", "extra": "geomean ns/op ratio"},\n' \
+            "$(ratio "$raw" BenchmarkDataPlaneWallClock/serial BenchmarkDataPlaneWallClock/parallel)"
+        printf '          {"name": "ratio: ServeWallClock shards1/shards4", "value": %s, "unit": "x", "extra": "geomean ns/op ratio"},\n' \
+            "$(ratio "$raw" BenchmarkServeWallClock/shards1 BenchmarkServeWallClock/shards4)"
+        printf '          {"name": "ratio: GearCDC ref/fast", "value": %s, "unit": "x", "extra": "geomean ns/op ratio over all corpora"}\n' \
+            "$(ratio "$raw" BenchmarkGearCDCRef/ BenchmarkGearCDC/)"
+        printf '        ]\n'
+        printf '      }\n'
+        printf '    ]\n'
+        printf '  }\n'
+        printf '}\n'
+    } >"$out"
+    echo "wrote benchmark trajectory point to $out"
+}
+
 if [[ "${1:-}" == "--record" ]]; then
     RAW="$(mktemp)"
     trap 'rm -f "$RAW"' EXIT
@@ -83,12 +178,14 @@ if [[ "${1:-}" == "--record" ]]; then
         echo "# ns/op geomean ratios at record time (>1.00 means the second case is faster):"
         echo "#   DataPlaneWallClock serial/parallel = $(ratio "$RAW" BenchmarkDataPlaneWallClock/serial BenchmarkDataPlaneWallClock/parallel)"
         echo "#   ServeWallClock shards1/shards4     = $(ratio "$RAW" BenchmarkServeWallClock/shards1 BenchmarkServeWallClock/shards4)"
-        echo "# On a single-core host both ratios hover near 1.00: the parallel and"
-        echo "# sharded cases time-slice one CPU, so only dispatch overhead separates"
+        echo "#   GearCDC ref/fast (all corpora)     = $(ratio "$RAW" BenchmarkGearCDCRef/ BenchmarkGearCDC/)"
+        echo "# On a single-core host the first two ratios hover near 1.00: the parallel"
+        echo "# and sharded cases time-slice one CPU, so only dispatch overhead separates"
         echo "# them. Multi-core speedups must be recorded on a multi-core machine."
         cat "$RAW"
     } >"$BASELINE"
     echo "recorded baseline into $BASELINE"
+    write_json "$RAW"
     exit 0
 fi
 
@@ -100,6 +197,8 @@ fi
 CURRENT="$(mktemp)"
 trap 'rm -f "$CURRENT"' EXIT
 run_bench | tee "$CURRENT"
+
+write_json "$CURRENT"
 
 if command -v benchstat >/dev/null 2>&1; then
     echo
