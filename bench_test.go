@@ -345,3 +345,64 @@ func BenchmarkE16WriteAmplification(b *testing.B) {
 		"wa_seq_op7":    "WA-seq@7%",
 	})
 }
+
+// BenchmarkClusterWallClock measures the real (host) cost of serving a
+// read-mostly closed-loop mix through the replicated cluster tier. The
+// /nodes1 case degenerates to a single sharded array behind the cluster's
+// sequencing phase, so its gap to BenchmarkServeWallClock bounds the
+// routing overhead; /nodes3r2 replicates every write to two of three
+// nodes and rides out injected node crashes (fallback reads, rejoin
+// replay), so it does ~R× the write work plus repair traffic. The merged
+// reports are bit-identical across client counts (see
+// TestClusterCrashRejoinDeterminism); only the wall clock differs.
+// Cluster construction is excluded from the timed region.
+func BenchmarkClusterWallClock(b *testing.B) {
+	ops := 20000
+	if testing.Short() {
+		ops = 6000
+	}
+	const blocks = 8192
+	list, err := NewOps(ReadMostlyOps(ops, blocks, 11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name      string
+		nodes     int
+		replicas  int
+		faultRate float64
+	}{
+		{"nodes1", 1, 1, 0},
+		{"nodes3r2", 3, 2, 0.002},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.SetBytes(int64(len(list)) * 4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cl, err := NewCluster(BlockDeviceOptions{
+					Blocks: blocks, Shards: 2,
+					Nodes: bc.nodes, Replicas: bc.replicas,
+					NodeFaultRate: bc.faultRate, NodeFaultSeed: 1337,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				rep, err := cl.Serve(list, ClusterServeOptions{
+					Clients: bc.nodes, ContentSeed: 11, CleanEvery: 4096,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Ops == 0 {
+					b.Fatal("empty report")
+				}
+				if rep.Faults.ReadsUnserved != 0 {
+					b.Fatalf("reads went unserved: %+v", rep.Faults)
+				}
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"inlinered/internal/cluster"
 	"inlinered/internal/fault"
 	"inlinered/internal/lz"
 	"inlinered/internal/obs"
@@ -43,12 +44,27 @@ type BlockDeviceOptions struct {
 	// request, CPU job, and NAND operation records a virtual-time span, and
 	// the trace exports as Chrome trace-event JSON via Recorder.WriteTrace.
 	// One recorder serves one volume's lanes, so Recorder requires
-	// Shards <= 1. Nil means off.
+	// Shards <= 1. On a Cluster the recorder instead captures membership
+	// events (crash/rejoin instants on a "cluster" lane). Nil means off.
 	Recorder *Recorder
+	// Nodes replicates the device across a cluster of that many nodes
+	// (NewCluster only; 0 means 1). Each node is a full sharded array with
+	// its own virtual clock and fault streams.
+	Nodes int
+	// Replicas is the cluster replication factor R: each LBA range lives
+	// on R of the Nodes (NewCluster only; 0 means 1, must be <= Nodes).
+	Replicas int
+	// NodeFaultRate enables node-level fault injection in a cluster: node
+	// crashes (with queued-mutation replay at rejoin) and silent replica
+	// divergence (healed by read-repair and Scrub) both fire at this
+	// per-opportunity rate, scheduled by NodeFaultSeed. Independent of the
+	// device-level FaultRate streams.
+	NodeFaultRate float64
+	NodeFaultSeed int64
 }
 
-// serveConfig converts the options into the sharded front-end's config.
-func (opts BlockDeviceOptions) serveConfig() (serve.Config, error) {
+// volumeConfig converts the device-level options into a volume config.
+func (opts BlockDeviceOptions) volumeConfig() volume.Config {
 	cfg := volume.DefaultConfig()
 	if opts.BlockSize > 0 {
 		cfg.BlockSize = opts.BlockSize
@@ -68,7 +84,12 @@ func (opts BlockDeviceOptions) serveConfig() (serve.Config, error) {
 	if opts.FaultRate > 0 {
 		cfg.Faults = fault.Config{Seed: opts.FaultSeed, Rates: fault.Uniform(opts.FaultRate)}
 	}
-	sc := serve.Config{Volume: cfg, Shards: opts.Shards}
+	return cfg
+}
+
+// serveConfig converts the options into the sharded front-end's config.
+func (opts BlockDeviceOptions) serveConfig() (serve.Config, error) {
+	sc := serve.Config{Volume: opts.volumeConfig(), Shards: opts.Shards}
 	if opts.Recorder != nil {
 		if opts.Shards > 1 {
 			return serve.Config{}, fmt.Errorf(
@@ -77,6 +98,26 @@ func (opts BlockDeviceOptions) serveConfig() (serve.Config, error) {
 		sc.Obs = []*obs.Recorder{opts.Recorder}
 	}
 	return sc, nil
+}
+
+// clusterConfig converts the options into the replicated tier's config.
+// The recorder (any node/shard count) captures membership events, not
+// volume lanes, so the serveConfig recorder restriction does not apply.
+func (opts BlockDeviceOptions) clusterConfig() cluster.Config {
+	cc := cluster.Config{
+		Volume:        opts.volumeConfig(),
+		Nodes:         opts.Nodes,
+		Replicas:      opts.Replicas,
+		ShardsPerNode: opts.Shards,
+		Obs:           opts.Recorder,
+	}
+	if opts.NodeFaultRate > 0 {
+		cc.NodeFaults = fault.Config{
+			Seed:  opts.NodeFaultSeed,
+			Rates: fault.NodeUniform(opts.NodeFaultRate, opts.NodeFaultRate),
+		}
+	}
+	return cc
 }
 
 // BlockDevice is an LBA-addressed deduplicating, compressing volume on the

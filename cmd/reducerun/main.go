@@ -11,6 +11,8 @@
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //	reducerun -shards N [-clients C] [-serve-ops N] [-blocks N]
 //	          [-dedup R] [-seed N] [-faults SEED:RATE] [-json]
+//	reducerun -nodes N [-replicas R] [-node-faults SEED:RATE] [-shards S]
+//	          [-clients C] [-serve-ops N] [-blocks N] [-json]
 //
 // With -mode auto, the dummy-I/O calibration pass of §4(3) picks the
 // fastest integration option for the platform first.
@@ -26,6 +28,13 @@
 // independent volume shards by -clients concurrent workers. Client count
 // and GOMAXPROCS affect only the wall clock — the report is bit-identical
 // at a fixed seed and shard count.
+//
+// -nodes switches further to the replicated cluster tier: a read-mostly
+// closed-loop mix is served across N nodes (each an array of -shards
+// shards) with -replicas-way placement. -node-faults arms node crashes and
+// replica divergence, ridden out by fallback reads, rejoin replay, and
+// read-repair; the run ends with a full-range scrub. The report stays
+// bit-identical for any -clients and GOMAXPROCS at fixed seeds.
 package main
 
 import (
@@ -59,6 +68,9 @@ func main() {
 	par := flag.Int("par", 0, "host worker threads for the real computation (0 = all cores, 1 = serial; results are identical)")
 	faults := flag.String("faults", "", "deterministic fault injection as SEED:RATE (e.g. 7:0.01); empty disables")
 	shards := flag.Int("shards", 0, "serve a closed-loop op mix across N volume shards instead of running the stream pipeline")
+	nodes := flag.Int("nodes", 0, "serve across a replicated cluster of N nodes (each an array of -shards shards)")
+	replicas := flag.Int("replicas", 1, "cluster replication factor with -nodes (<= nodes)")
+	nodeFaults := flag.String("node-faults", "", "node-level fault injection with -nodes as SEED:RATE (crashes + replica divergence); empty disables")
 	clients := flag.Int("clients", 0, "concurrent serving workers with -shards (0 = one per shard; report is identical for any value)")
 	serveOps := flag.Int("serve-ops", 20000, "closed-loop operations with -shards")
 	blocks := flag.Int64("blocks", 16384, "LBA space in blocks with -shards")
@@ -92,6 +104,15 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	if *nodes > 0 {
+		nodeSeed, nodeRate, err := parseSeedRate("-node-faults", *nodeFaults)
+		if err != nil {
+			fatal(err)
+		}
+		runCluster(*nodes, *replicas, *shards, *clients, *serveOps, *blocks,
+			*seed, faultSeed, faultRate, nodeSeed, nodeRate, *jsonOut, info)
+		return
+	}
 	if *shards > 0 {
 		runServe(*shards, *clients, *serveOps, *blocks, *dd, *seed, faultSeed, faultRate, *jsonOut, info)
 		return
@@ -255,25 +276,79 @@ func runServe(shards, clients, ops int, blocks int64, dedup float64, seed, fault
 	}
 }
 
+// runCluster serves a read-mostly closed-loop mix across a replicated
+// cluster, rides out injected node faults, and finishes with a scrub.
+func runCluster(nodes, replicas, shards, clients, ops int, blocks int64,
+	seed, faultSeed int64, faultRate float64, nodeSeed int64, nodeRate float64,
+	jsonOut bool, info *os.File) {
+	cl, err := inlinered.NewCluster(inlinered.BlockDeviceOptions{
+		Blocks:        blocks,
+		Shards:        shards,
+		Nodes:         nodes,
+		Replicas:      replicas,
+		FaultSeed:     faultSeed,
+		FaultRate:     faultRate,
+		NodeFaultSeed: nodeSeed,
+		NodeFaultRate: nodeRate,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	list, err := inlinered.NewOps(inlinered.ReadMostlyOps(ops, blocks, seed))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(info, "serving %d read-mostly ops (plus %d-block fill) across %d nodes (R=%d)\n\n",
+		ops, blocks, nodes, replicas)
+	rep, err := cl.Serve(list, inlinered.ClusterServeOptions{
+		Clients:     clients,
+		ContentSeed: seed,
+		CleanEvery:  4096,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	scrub, err := cl.Scrub()
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		out, err := rep.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(out)
+	} else {
+		fmt.Println(rep)
+		fmt.Printf("  scrub: compared=%d mismatched=%d repaired=%d errors=%d\n",
+			scrub.Compared, scrub.Mismatched, scrub.Repaired, scrub.Errors)
+	}
+}
+
 // parseFaults parses the -faults knob: "SEED:RATE" with RATE in [0,1].
 func parseFaults(s string) (seed int64, rate float64, err error) {
+	return parseSeedRate("-faults", s)
+}
+
+// parseSeedRate parses a SEED:RATE fault knob with RATE in [0,1].
+func parseSeedRate(flagName, s string) (seed int64, rate float64, err error) {
 	if s == "" {
 		return 0, 0, nil
 	}
 	colon := strings.IndexByte(s, ':')
 	if colon < 0 {
-		return 0, 0, fmt.Errorf("-faults wants SEED:RATE, got %q", s)
+		return 0, 0, fmt.Errorf("%s wants SEED:RATE, got %q", flagName, s)
 	}
 	seed, err = strconv.ParseInt(s[:colon], 10, 64)
 	if err != nil {
-		return 0, 0, fmt.Errorf("-faults seed: %w", err)
+		return 0, 0, fmt.Errorf("%s seed: %w", flagName, err)
 	}
 	rate, err = strconv.ParseFloat(s[colon+1:], 64)
 	if err != nil {
-		return 0, 0, fmt.Errorf("-faults rate: %w", err)
+		return 0, 0, fmt.Errorf("%s rate: %w", flagName, err)
 	}
 	if rate < 0 || rate > 1 {
-		return 0, 0, fmt.Errorf("-faults rate must be in [0,1], got %g", rate)
+		return 0, 0, fmt.Errorf("%s rate must be in [0,1], got %g", flagName, rate)
 	}
 	return seed, rate, nil
 }

@@ -10,6 +10,8 @@
 //	tracerun -ops 10000 -emit trace.txt           # synthesize, save, replay
 //	tracerun -json -trace-out spans.json          # machine-readable outputs
 //	tracerun -shards 4 -clients 8                 # sharded serving front-end
+//	tracerun -faults 7:0.01                       # deterministic fault injection
+//	tracerun -nodes 3 -replicas 2 -node-faults 1337:0.01  # replicated cluster
 //
 // -json prints the replay report as stable JSON on stdout; -trace-out
 // writes a Chrome trace-event file of the volume's virtual-time spans.
@@ -18,7 +20,14 @@
 // -shards N routes the trace across N independent volume shards behind the
 // goroutine-safe serving front-end, with -clients concurrent workers on the
 // wall clock; the report is bit-identical for any client count. -trace-out
-// requires -shards 1 (a recorder serves one volume's lanes).
+// requires -shards 1 and -nodes 1 (a recorder serves one volume's lanes).
+//
+// -faults SEED:RATE arms deterministic device-level fault injection in
+// every mode (single volume, sharded, cluster). -nodes N replicates the
+// replay across a cluster of N arrays with -replicas R-way placement;
+// -node-faults SEED:RATE additionally injects node crashes and replica
+// divergence, healed by rejoin replay and read-repair, and the replay
+// finishes with a full-range scrub.
 package main
 
 import (
@@ -27,7 +36,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
+	"inlinered/internal/cluster"
+	"inlinered/internal/fault"
 	"inlinered/internal/obs"
 	"inlinered/internal/serve"
 	"inlinered/internal/trace"
@@ -49,7 +62,11 @@ func main() {
 	noCompress := flag.Bool("no-compress", false, "disable compression")
 	jsonOut := flag.Bool("json", false, "print the replay report as JSON on stdout")
 	shards := flag.Int("shards", 1, "shard the volume N ways behind the serving front-end")
-	clients := flag.Int("clients", 0, "concurrent serving workers (0 = one per shard; report is identical for any value)")
+	clients := flag.Int("clients", 0, "concurrent serving workers (0 = one per shard/node; report is identical for any value)")
+	faults := flag.String("faults", "", "deterministic device fault injection as SEED:RATE (e.g. 7:0.01); empty disables")
+	nodes := flag.Int("nodes", 1, "replicate across a cluster of N nodes (each a full sharded array)")
+	replicas := flag.Int("replicas", 1, "cluster replication factor (<= nodes)")
+	nodeFaults := flag.String("node-faults", "", "node-level fault injection as SEED:RATE (crashes + replica divergence); empty disables")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file of the replay's virtual-time spans")
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU pprof profile to this file")
 	memProfile := flag.String("memprofile", "", "write a host heap pprof profile to this file")
@@ -100,6 +117,65 @@ func main() {
 	cfg := volume.DefaultConfig()
 	cfg.Blocks = *blocks
 	cfg.Compress = !*noCompress
+	faultSeed, faultRate, err := parseSeedRate("-faults", *faults)
+	if err != nil {
+		fatal(err)
+	}
+	if faultRate > 0 {
+		cfg.Faults = fault.Config{Seed: faultSeed, Rates: fault.Uniform(faultRate)}
+	}
+
+	if *nodes > 1 {
+		// Replicated cluster: place the trace's LBA ranges across nodes,
+		// ride out injected crashes, and scrub for replica agreement.
+		if *traceOut != "" {
+			fatal(fmt.Errorf("-trace-out requires -nodes 1 (a recorder serves one volume's lanes)"))
+		}
+		nodeSeed, nodeRate, err := parseSeedRate("-node-faults", *nodeFaults)
+		if err != nil {
+			fatal(err)
+		}
+		srvOps := make([]workload.Op, len(recs))
+		for i, r := range recs {
+			srvOps[i] = workload.Op{Kind: workload.OpKind(r.Op), LBA: r.LBA, Content: r.Content}
+		}
+		ccfg := cluster.Config{
+			Volume:        cfg,
+			Nodes:         *nodes,
+			Replicas:      *replicas,
+			ShardsPerNode: *shards,
+		}
+		if nodeRate > 0 {
+			ccfg.NodeFaults = fault.Config{Seed: nodeSeed, Rates: fault.NodeUniform(nodeRate, nodeRate)}
+		}
+		cl, err := cluster.New(ccfg)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := cl.Serve(srvOps, cluster.RunOptions{
+			Clients: *clients, ContentSeed: *seed, CleanEvery: *cleanEvery,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		scrub, err := cl.Scrub()
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			out, err := rep.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			os.Stdout.Write(out)
+		} else {
+			fmt.Println(rep)
+			fmt.Printf("  scrub: compared=%d mismatched=%d repaired=%d errors=%d\n",
+				scrub.Compared, scrub.Mismatched, scrub.Repaired, scrub.Errors)
+		}
+		writeMemProfile(*memProfile)
+		return
+	}
 
 	if *shards > 1 {
 		// Sharded serving front-end: route the trace across independent
@@ -192,6 +268,29 @@ func writeMemProfile(path string) {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
+}
+
+// parseSeedRate parses a SEED:RATE fault knob with RATE in [0,1].
+func parseSeedRate(flagName, s string) (seed int64, rate float64, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	colon := strings.IndexByte(s, ':')
+	if colon < 0 {
+		return 0, 0, fmt.Errorf("%s wants SEED:RATE, got %q", flagName, s)
+	}
+	seed, err = strconv.ParseInt(s[:colon], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s seed: %w", flagName, err)
+	}
+	rate, err = strconv.ParseFloat(s[colon+1:], 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s rate: %w", flagName, err)
+	}
+	if rate < 0 || rate > 1 {
+		return 0, 0, fmt.Errorf("%s rate must be in [0,1], got %g", flagName, rate)
+	}
+	return seed, rate, nil
 }
 
 func fatal(err error) {

@@ -25,6 +25,7 @@ import (
 	"io"
 	"time"
 
+	"inlinered/internal/cluster"
 	"inlinered/internal/core"
 	"inlinered/internal/fault"
 	"inlinered/internal/lz"
@@ -222,6 +223,13 @@ type OpsSpec = workload.ClosedLoopSpec
 // NewOps generates a deterministic closed-loop op list for Array.Serve.
 func NewOps(spec OpsSpec) ([]Op, error) { return workload.ClosedLoop(spec) }
 
+// ReadMostlyOps returns the read-mostly closed-loop preset (a 90/9/1
+// read/write/trim mix): the recovery-scenario workload, dominated by reads
+// that must be served from a fallback replica during a node outage.
+func ReadMostlyOps(ops int, blocks, seed int64) OpsSpec {
+	return workload.ReadMostlySpec(ops, blocks, seed)
+}
+
 // ServeOptions tune an Array.Serve run. Only Clients affects the wall
 // clock; the report is bit-identical for any client count.
 type ServeOptions = serve.RunOptions
@@ -297,6 +305,95 @@ func (a *Array) Stats() DeviceStats { return a.inner.Stats() }
 
 // ShardStats returns each shard's stats in shard order.
 func (a *Array) ShardStats() []DeviceStats { return a.inner.ShardStats() }
+
+// ClusterServeOptions tune a Cluster.Serve run. Only Clients affects the
+// wall clock; the report is bit-identical for any client count.
+type ClusterServeOptions = cluster.RunOptions
+
+// ClusterReport summarizes a Cluster.Serve run under the
+// "inlinered/cluster-report/v1" JSON schema: client-op totals, the
+// membership/degraded-mode/repair counters, cluster-merged stats, and a
+// per-node breakdown. Like ServeReport it excludes every wall-clock
+// quantity, so runs differing only in scheduling encode identically.
+type ClusterReport = cluster.Report
+
+// ClusterFaultCounters tallies a batch's degraded-mode work: crashes and
+// rejoins, fallback and unserved reads, queued mutations, divergences, and
+// the repair traffic that healed them.
+type ClusterFaultCounters = cluster.FaultCounters
+
+// ScrubReport summarizes a Cluster.Scrub replica-agreement sweep.
+type ScrubReport = cluster.ScrubReport
+
+// RebalanceReport summarizes a Cluster.AddNode migration.
+type RebalanceReport = cluster.RebalanceReport
+
+// Cluster is the replicated tier over the sharded array: Nodes independent
+// arrays with LBA ranges rendezvous-placed on Replicas of them. Writes
+// replicate to every live owner, reads prefer the primary and fall back to
+// a surviving replica during an outage, a crashed node replays the
+// mutations it missed when it rejoins, and reads repair diverged copies
+// they touch (Scrub sweeps the rest). The batch Serve path promises
+// bit-identical reports for any client count and GOMAXPROCS at a fixed
+// configuration — the same wall-clock-only parallelism contract as Array.
+type Cluster struct {
+	inner *cluster.Cluster
+}
+
+// NewCluster builds a replicated cluster from block-device options: Nodes
+// arrays of opts.Shards shards each, with Replicas-way placement and
+// optional node-level fault injection (NodeFaultRate/NodeFaultSeed).
+func NewCluster(opts BlockDeviceOptions) (*Cluster, error) {
+	inner, err := cluster.New(opts.clusterConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner}, nil
+}
+
+// Serve executes a batch of operations across the cluster with
+// opts.Clients concurrent workers and returns the merged report. Node
+// crashes, rejoins, and replica repair all happen inside the batch; a
+// Serve call always returns with every node live again.
+func (c *Cluster) Serve(ops []Op, opts ClusterServeOptions) (*ClusterReport, error) {
+	return c.inner.Serve(ops, opts)
+}
+
+// Scrub sweeps the full LBA range, compares every replica copy against its
+// primary, and repairs disagreements.
+func (c *Cluster) Scrub() (*ScrubReport, error) { return c.inner.Scrub() }
+
+// AddNode grows the cluster by one node, migrating only the ranges the new
+// node wins under rendezvous placement.
+func (c *Cluster) AddNode() (*RebalanceReport, error) { return c.inner.AddNode() }
+
+// Write stores one block on every owner replica synchronously. Safe for
+// concurrent use.
+func (c *Cluster) Write(lba int64, data []byte) (time.Duration, error) {
+	return c.inner.Write(lba, data)
+}
+
+// Read returns the block at lba from its primary replica (zeros when
+// unmapped). Safe for concurrent use.
+func (c *Cluster) Read(lba int64) ([]byte, time.Duration, error) { return c.inner.Read(lba) }
+
+// Trim unmaps one block on every owner replica. Safe for concurrent use.
+func (c *Cluster) Trim(lba int64) (time.Duration, error) { return c.inner.Trim(lba) }
+
+// Nodes returns the current node count.
+func (c *Cluster) Nodes() int { return c.inner.Nodes() }
+
+// Replicas returns the replication factor.
+func (c *Cluster) Replicas() int { return c.inner.Replicas() }
+
+// Now returns the cluster's virtual clock (the slowest node's clock).
+func (c *Cluster) Now() time.Duration { return c.inner.Now() }
+
+// Stats returns deterministically merged stats across every node.
+func (c *Cluster) Stats() DeviceStats { return c.inner.Stats() }
+
+// NodeStats returns each node's merged stats in node order.
+func (c *Cluster) NodeStats() []DeviceStats { return c.inner.NodeStats() }
 
 // StreamSpec describes a synthetic workload stream (the vdbench stand-in):
 // both knobs the paper's evaluation uses, calibrated against this

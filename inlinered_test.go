@@ -295,3 +295,75 @@ func TestRecorderRequiresSingleShard(t *testing.T) {
 		t.Fatalf("single-shard recorder rejected: %v", err)
 	}
 }
+
+func TestClusterQuickstart(t *testing.T) {
+	ops, err := NewOps(OpsSpec{
+		Ops: 800, Blocks: 512, WriteFrac: 0.09, TrimFrac: 0.01,
+		DedupRatio: 2, Hotspot: 0.5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(clients int) (*ClusterReport, []byte, *Cluster) {
+		c, err := NewCluster(BlockDeviceOptions{
+			Blocks: 512, Shards: 2, Nodes: 3, Replicas: 2,
+			NodeFaultRate: 0.01, NodeFaultSeed: 1337,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.Serve(ops, ClusterServeOptions{Clients: clients, ContentSeed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, js, c
+	}
+	rep, base, c := run(1)
+	for _, clients := range []int{3, 8} {
+		if _, js, _ := run(clients); !bytes.Equal(js, base) {
+			t.Fatalf("cluster report diverged at %d clients", clients)
+		}
+	}
+	var env struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(base, &env); err != nil || env.Schema != "inlinered/cluster-report/v1" {
+		t.Fatalf("cluster report envelope: schema=%q err=%v", env.Schema, err)
+	}
+	if rep.Nodes != 3 || rep.Replicas != 2 || c.Nodes() != 3 || c.Replicas() != 2 {
+		t.Fatalf("cluster shape: report %d/%d cluster %d/%d",
+			rep.Nodes, rep.Replicas, c.Nodes(), c.Replicas())
+	}
+	if rep.Faults.ReadsUnserved != 0 {
+		t.Fatalf("reads went unserved: %+v", rep.Faults)
+	}
+	scrub, err := c.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrub.Errors != 0 {
+		t.Fatalf("scrub errors on a faultless device: %+v", scrub)
+	}
+	if len(c.NodeStats()) != 3 {
+		t.Fatal("node stats entries")
+	}
+	if reb, err := c.AddNode(); err != nil || reb.RangesMoved == 0 {
+		t.Fatalf("AddNode: %+v err=%v", reb, err)
+	}
+	if c.Nodes() != 4 {
+		t.Fatalf("nodes after AddNode = %d", c.Nodes())
+	}
+	if c.Now() == 0 {
+		t.Fatal("virtual clock never advanced")
+	}
+}
+
+func TestClusterRejectsBadShape(t *testing.T) {
+	if _, err := NewCluster(BlockDeviceOptions{Nodes: 2, Replicas: 3}); err == nil {
+		t.Fatal("Replicas > Nodes must be rejected")
+	}
+}

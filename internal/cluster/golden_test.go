@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current output")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output changed; run with -update if intentional.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestClusterReportGolden locks both encodings of the cluster report —
+// the stable JSON envelope and the String summary — for a fixed recovery
+// run with crashes, rejoins, divergence, and repairs all firing. Any
+// change to the report format or to the membership/repair schedule must
+// update the golden files deliberately.
+func TestClusterReportGolden(t *testing.T) {
+	cfg := testConfig(3, 2, 0.004, 0.05)
+	_, rep, js := runCluster(t, cfg, testOps(t, 2000), 4)
+
+	// The golden run must actually exercise the recovery machinery —
+	// a quiet report would lock in nothing worth locking.
+	fc := rep.Faults
+	if fc.NodeCrashes == 0 || fc.NodeRejoins == 0 || fc.Divergences == 0 ||
+		fc.RepairWrites == 0 || fc.ReadsFallback == 0 {
+		t.Fatalf("golden run too quiet: %+v", fc)
+	}
+
+	checkGolden(t, "cluster_report.json", js)
+	checkGolden(t, "cluster_report.txt", []byte(rep.String()+"\n"))
+}

@@ -47,6 +47,14 @@ const (
 	JournalTorn
 	GPUDeviceLost
 	IndexEvict
+	// Node-level kinds, consulted by the cluster tier's single-threaded
+	// sequencing phase (never by a volume or drive): NodeCrash fail-stops a
+	// whole node, NodeRejoinDelay draws how long it stays down, and
+	// ReplicaDivergence silently drops one replica write so replicas
+	// disagree until read-repair or a scrub reconciles them.
+	NodeCrash
+	NodeRejoinDelay
+	ReplicaDivergence
 	numKinds
 )
 
@@ -67,6 +75,12 @@ func (k Kind) String() string {
 		return "gpu-device-lost"
 	case IndexEvict:
 		return "index-evict"
+	case NodeCrash:
+		return "node-crash"
+	case NodeRejoinDelay:
+		return "node-rejoin-delay"
+	case ReplicaDivergence:
+		return "replica-divergence"
 	default:
 		return fmt.Sprintf("fault-kind(%d)", int(k))
 	}
@@ -82,11 +96,20 @@ type Rates struct {
 	JournalTorn       float64
 	GPUDeviceLost     float64
 	IndexEvict        float64
+	// Node-level rates, consulted only by the cluster tier. NodeCrash is
+	// the per-operation probability that a healthy node fail-stops;
+	// ReplicaDivergence is the per-replica-write probability that the
+	// replica silently misses the update. NodeRejoinDelay has no rate — its
+	// stream is drawn unconditionally when a crash schedules a rejoin.
+	NodeCrash         float64
+	ReplicaDivergence float64
 }
 
 // Uniform sets every survivable fault kind to rate. Permanent SSD write
 // errors stay at zero: they are data loss, not degradation, and belong to
-// targeted tests rather than the one-knob CLI mode.
+// targeted tests rather than the one-knob CLI mode. Node-level kinds also
+// stay at zero: they only have meaning on the cluster tier, which arms
+// them through its own NodeFaults config (see NodeUniform).
 func Uniform(rate float64) Rates {
 	return Rates{
 		SSDWriteTransient: rate,
@@ -96,6 +119,13 @@ func Uniform(rate float64) Rates {
 		GPUDeviceLost:     rate,
 		IndexEvict:        rate,
 	}
+}
+
+// NodeUniform sets the node-level kinds the cluster tier injects: crashes
+// at rate, replica divergence at divergence. Device-level kinds stay zero
+// (arm those per node through the volume's own fault config).
+func NodeUniform(rate, divergence float64) Rates {
+	return Rates{NodeCrash: rate, ReplicaDivergence: divergence}
 }
 
 // Config describes one run's fault schedule.
@@ -122,12 +152,15 @@ type Counts struct {
 	JournalTorn       int64
 	GPUDeviceLost     int64
 	IndexEvict        int64
+	NodeCrash         int64
+	ReplicaDivergence int64
 }
 
 // Total sums the fired faults across kinds.
 func (c Counts) Total() int64 {
 	return c.SSDWriteTransient + c.SSDWritePermanent + c.SSDReadTransient +
-		c.SSDLatencySpike + c.JournalTorn + c.GPUDeviceLost + c.IndexEvict
+		c.SSDLatencySpike + c.JournalTorn + c.GPUDeviceLost + c.IndexEvict +
+		c.NodeCrash + c.ReplicaDivergence
 }
 
 // Injector makes deterministic fault decisions. It is not safe for
@@ -151,6 +184,8 @@ func New(cfg Config) *Injector {
 		JournalTorn:       cfg.Rates.JournalTorn,
 		GPUDeviceLost:     cfg.Rates.GPUDeviceLost,
 		IndexEvict:        cfg.Rates.IndexEvict,
+		NodeCrash:         cfg.Rates.NodeCrash,
+		ReplicaDivergence: cfg.Rates.ReplicaDivergence,
 	}
 	for k := range inj.rng {
 		// SplitMix64-style seed mixing gives each kind an independent
@@ -187,6 +222,10 @@ func (i *Injector) roll(k Kind) bool {
 		i.counts.GPUDeviceLost++
 	case IndexEvict:
 		i.counts.IndexEvict++
+	case NodeCrash:
+		i.counts.NodeCrash++
+	case ReplicaDivergence:
+		i.counts.ReplicaDivergence++
 	}
 	return true
 }
@@ -257,6 +296,39 @@ func (i *Injector) Rank(n int) int {
 	}
 	return i.rng[IndexEvict].Intn(n)
 }
+
+// NodeCrashes rolls the node-crash stream (consulted once per cluster
+// operation while every node is healthy); a hit fail-stops one node.
+func (i *Injector) NodeCrashes() bool { return i.roll(NodeCrash) }
+
+// CrashVictim returns a deterministic victim node in [0,n) for an injected
+// crash, drawn from the crash stream.
+func (i *Injector) CrashVictim(n int) int {
+	if i == nil || n <= 1 {
+		return 0
+	}
+	return i.rng[NodeCrash].Intn(n)
+}
+
+// RejoinDelayOps draws how many operations a crashed node stays down
+// before it rejoins, in [min, max], from the rejoin-delay stream. The draw
+// is unconditional (no rate): every crash schedules exactly one rejoin.
+func (i *Injector) RejoinDelayOps(min, max int) int {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	if i == nil {
+		return min
+	}
+	return min + i.rng[NodeRejoinDelay].Intn(max-min+1)
+}
+
+// ReplicaDiverges rolls the divergence stream (consulted per non-primary
+// replica write); a hit silently drops that replica's copy of the write.
+func (i *Injector) ReplicaDiverges() bool { return i.roll(ReplicaDivergence) }
 
 // Counts returns how many faults fired so far.
 func (i *Injector) Counts() Counts {

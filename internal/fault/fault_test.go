@@ -183,7 +183,96 @@ func TestUniformLeavesPermanentOff(t *testing.T) {
 	if r.SSDWritePermanent != 0 {
 		t.Fatal("Uniform must not enable permanent write errors")
 	}
+	if r.NodeCrash != 0 || r.ReplicaDivergence != 0 {
+		t.Fatal("Uniform must not enable node-level kinds (cluster-scoped)")
+	}
 	if !(Config{Rates: r}).Enabled() {
 		t.Fatal("Uniform(0.5) should enable injection")
+	}
+}
+
+func TestNodeUniform(t *testing.T) {
+	r := NodeUniform(0.01, 0.02)
+	if r.NodeCrash != 0.01 || r.ReplicaDivergence != 0.02 {
+		t.Fatalf("NodeUniform rates wrong: %+v", r)
+	}
+	if r.SSDWriteTransient != 0 || r.JournalTorn != 0 {
+		t.Fatal("NodeUniform must leave device-level kinds off")
+	}
+	if !(Config{Rates: r}).Enabled() {
+		t.Fatal("NodeUniform should enable injection")
+	}
+}
+
+// TestNodeKindsDeterministicAndIndependent: the node-level streams make
+// identical decisions for identical seeds, and consulting device-level
+// streams more often never shifts them (the cluster sequencing phase and
+// the per-node volumes draw from disjoint streams).
+func TestNodeKindsDeterministicAndIndependent(t *testing.T) {
+	cfg := Config{Seed: 11, Rates: NodeUniform(0.05, 0.1)}
+	type nodeDecision struct {
+		crash    bool
+		victim   int
+		delay    int
+		diverges bool
+	}
+	drainNodes := func(inj *Injector, extraDevice int) []nodeDecision {
+		out := make([]nodeDecision, 2000)
+		for i := range out {
+			for k := 0; k < extraDevice; k++ {
+				inj.WriteError() // device streams must not perturb node streams
+			}
+			out[i] = nodeDecision{
+				crash:    inj.NodeCrashes(),
+				victim:   inj.CrashVictim(5),
+				delay:    inj.RejoinDelayOps(50, 200),
+				diverges: inj.ReplicaDiverges(),
+			}
+		}
+		return out
+	}
+	a := drainNodes(New(cfg), 0)
+	b := drainNodes(New(cfg), 3)
+	crashes, diverges := 0, 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node decision %d shifted with device-stream consults: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].crash {
+			crashes++
+		}
+		if a[i].diverges {
+			diverges++
+		}
+		if a[i].victim < 0 || a[i].victim >= 5 {
+			t.Fatalf("victim %d outside [0,5)", a[i].victim)
+		}
+		if a[i].delay < 50 || a[i].delay > 200 {
+			t.Fatalf("rejoin delay %d outside [50,200]", a[i].delay)
+		}
+	}
+	if crashes == 0 || diverges == 0 {
+		t.Fatalf("node rates never fired over 2000 consults (crashes=%d diverges=%d)", crashes, diverges)
+	}
+	inj := New(cfg)
+	drainNodes(inj, 0)
+	c := inj.Counts()
+	if c.NodeCrash == 0 || c.ReplicaDivergence == 0 {
+		t.Fatalf("node fault counts not recorded: %+v", c)
+	}
+}
+
+// TestNilInjectorNodeKinds: the nil injector stays silent on the node
+// methods and RejoinDelayOps degrades to the minimum delay.
+func TestNilInjectorNodeKinds(t *testing.T) {
+	var inj *Injector
+	if inj.NodeCrashes() || inj.ReplicaDiverges() {
+		t.Fatal("nil injector fired a node fault")
+	}
+	if inj.CrashVictim(7) != 0 {
+		t.Fatal("nil injector chose a nonzero victim")
+	}
+	if got := inj.RejoinDelayOps(50, 200); got != 50 {
+		t.Fatalf("nil injector rejoin delay = %d, want 50", got)
 	}
 }

@@ -217,6 +217,24 @@ func (a *Array) ShardStats() []volume.Stats {
 	return out
 }
 
+// MergedHistograms returns the array's per-op latency histograms (write,
+// read, trim, journal flush) merged across shards. Bucket merges are
+// order-independent, so the result is deterministic for any shard
+// enumeration; callers one level up (the cluster tier) merge these again
+// across arrays and recompute summaries from the merged buckets.
+func (a *Array) MergedHistograms() (write, read, trim, journalFlush sim.Histogram) {
+	for _, s := range a.shards {
+		s.mu.Lock()
+		w, r, tr, jf := s.v.Histograms()
+		s.mu.Unlock()
+		write.Merge(&w)
+		read.Merge(&r)
+		trim.Merge(&tr)
+		journalFlush.Merge(&jf)
+	}
+	return write, read, trim, journalFlush
+}
+
 // Stats returns the merged array stats: counters sum, and the latency
 // summaries are recomputed from the merged per-shard histograms (bucket
 // counts are order-independent, so the merge is deterministic for any
@@ -229,25 +247,7 @@ func (a *Array) Stats() volume.Stats {
 		st := s.v.Stats()
 		w, r, tr, jf := s.v.Histograms()
 		s.mu.Unlock()
-		out.Writes += st.Writes
-		out.Reads += st.Reads
-		out.Trims += st.Trims
-		out.DedupHits += st.DedupHits
-		out.CacheHits += st.CacheHits
-		out.LogicalBytes += st.LogicalBytes
-		out.StoredBytes += st.StoredBytes
-		out.LogBytes += st.LogBytes
-		out.GarbageBytes += st.GarbageBytes
-		out.CleanRuns += st.CleanRuns
-		out.MovedBytes += st.MovedBytes
-		out.JournalRecords += st.JournalRecords
-		out.JournalBytes += st.JournalBytes
-		out.SSDWriteRetries += st.SSDWriteRetries
-		out.SSDReadRetries += st.SSDReadRetries
-		out.LatencySpikes += st.LatencySpikes
-		out.JournalTornRecords += st.JournalTornRecords
-		out.JournalWriteFailures += st.JournalWriteFailures
-		out.IndexEvictions += st.IndexEvictions
+		out.AddCounters(st)
 		hw.Merge(&w)
 		hr.Merge(&r)
 		ht.Merge(&tr)

@@ -154,6 +154,34 @@ type Stats struct {
 	IndexEvictions       int64 `json:"index_evictions"`        // entries evicted by injected memory pressure
 }
 
+// AddCounters accumulates st's counter fields into s. Latency summaries
+// are deliberately left untouched: summaries cannot be merged — merge the
+// underlying histograms (Volume.Histograms, Array.MergedHistograms) and
+// recompute. Both the sharded front-end and the cluster tier merge through
+// this one helper so a new Stats counter cannot be forgotten in one of
+// them.
+func (s *Stats) AddCounters(st Stats) {
+	s.Writes += st.Writes
+	s.Reads += st.Reads
+	s.Trims += st.Trims
+	s.DedupHits += st.DedupHits
+	s.CacheHits += st.CacheHits
+	s.LogicalBytes += st.LogicalBytes
+	s.StoredBytes += st.StoredBytes
+	s.LogBytes += st.LogBytes
+	s.GarbageBytes += st.GarbageBytes
+	s.CleanRuns += st.CleanRuns
+	s.MovedBytes += st.MovedBytes
+	s.JournalRecords += st.JournalRecords
+	s.JournalBytes += st.JournalBytes
+	s.SSDWriteRetries += st.SSDWriteRetries
+	s.SSDReadRetries += st.SSDReadRetries
+	s.LatencySpikes += st.LatencySpikes
+	s.JournalTornRecords += st.JournalTornRecords
+	s.JournalWriteFailures += st.JournalWriteFailures
+	s.IndexEvictions += st.IndexEvictions
+}
+
 // ReductionRatio reports logical bytes per stored byte.
 func (s Stats) ReductionRatio() float64 {
 	if s.StoredBytes == 0 {

@@ -56,6 +56,23 @@ func (s ClosedLoopSpec) Validate() error {
 	return nil
 }
 
+// ReadMostlySpec returns the read-mostly closed-loop preset: a 90/9/1
+// read/write/trim mix with the generator's usual dedup and hotspot
+// defaults. Recovery scenarios lean on it — a cluster riding out a node
+// crash is dominated by reads that must be served from a fallback
+// replica, so the cluster tests drive this preset through the outage.
+func ReadMostlySpec(ops int, blocks, seed int64) ClosedLoopSpec {
+	return ClosedLoopSpec{
+		Ops:        ops,
+		Blocks:     blocks,
+		WriteFrac:  0.09,
+		TrimFrac:   0.01,
+		DedupRatio: 2.0,
+		Hotspot:    0.5,
+		Seed:       seed,
+	}
+}
+
 // ClosedLoop generates a deterministic closed-loop op list: a sequential
 // fill of the LBA space (so reads and trims have something to hit) followed
 // by the requested mix, with an optional hotspot. The list is a pure

@@ -72,3 +72,41 @@ func TestClosedLoopShape(t *testing.T) {
 		t.Fatal("same spec produced different op lists")
 	}
 }
+
+// TestReadMostlyPreset: the recovery-scenario preset validates, is
+// read-dominated (~90/9/1), and is deterministic.
+func TestReadMostlyPreset(t *testing.T) {
+	spec := ReadMostlySpec(10000, 512, 3)
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("preset invalid: %v", err)
+	}
+	ops, err := ClosedLoop(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w, r, tr int
+	for _, op := range ops[spec.Blocks:] { // skip the fill pass
+		switch op.Kind {
+		case OpWrite:
+			w++
+		case OpRead:
+			r++
+		case OpTrim:
+			tr++
+		}
+	}
+	total := float64(spec.Ops)
+	if frac := float64(r) / total; frac < 0.85 || frac > 0.95 {
+		t.Fatalf("read fraction %.3f, want ~0.90", frac)
+	}
+	if frac := float64(w) / total; frac < 0.06 || frac > 0.12 {
+		t.Fatalf("write fraction %.3f, want ~0.09", frac)
+	}
+	if tr == 0 {
+		t.Fatal("preset generated no trims")
+	}
+	again, _ := ClosedLoop(ReadMostlySpec(10000, 512, 3))
+	if !reflect.DeepEqual(ops, again) {
+		t.Fatal("preset not deterministic")
+	}
+}

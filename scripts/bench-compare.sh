@@ -2,9 +2,10 @@
 # bench-compare.sh — guard the wall-clock benchmarks against regressions and
 # emit the machine-readable benchmark trajectory.
 #
-# Runs BenchmarkDataPlaneWallClock and BenchmarkServeWallClock (root
-# package) plus the chunker (BenchmarkGearCDC*) and batch-fingerprint
-# (BenchmarkSumBatch) microbenchmarks, and compares them with the
+# Runs BenchmarkDataPlaneWallClock, BenchmarkServeWallClock, and
+# BenchmarkClusterWallClock (root package) plus the chunker
+# (BenchmarkGearCDC*) and batch-fingerprint (BenchmarkSumBatch)
+# microbenchmarks, and compares them with the
 # checked-in baseline (bench_baseline.txt, recorded with
 # scripts/bench-compare.sh --record on the reference machine). Uses
 # benchstat when it is on PATH; otherwise falls back to a plain geomean
@@ -34,7 +35,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE=bench_baseline.txt
-BENCH='BenchmarkDataPlaneWallClock|BenchmarkServeWallClock'
+BENCH='BenchmarkDataPlaneWallClock|BenchmarkServeWallClock|BenchmarkClusterWallClock'
 # Every guarded benchmark/subbenchmark pair, for the fallback comparison.
 # A trailing slash scopes a prefix to its own subbenchmarks only
 # (BenchmarkGearCDC/ does not match BenchmarkGearCDCRef/...).
@@ -44,6 +45,8 @@ CASES=(
     BenchmarkDataPlaneWallClock/cdc
     BenchmarkServeWallClock/shards1
     BenchmarkServeWallClock/shards4
+    BenchmarkClusterWallClock/nodes1
+    BenchmarkClusterWallClock/nodes3r2
     BenchmarkGearCDC/
     BenchmarkSumBatch
 )
@@ -157,6 +160,8 @@ write_json() {
             "$(ratio "$raw" BenchmarkDataPlaneWallClock/serial BenchmarkDataPlaneWallClock/parallel)"
         printf '          {"name": "ratio: ServeWallClock shards1/shards4", "value": %s, "unit": "x", "extra": "geomean ns/op ratio"},\n' \
             "$(ratio "$raw" BenchmarkServeWallClock/shards1 BenchmarkServeWallClock/shards4)"
+        printf '          {"name": "ratio: ClusterWallClock nodes3r2/nodes1", "value": %s, "unit": "x", "extra": "geomean ns/op ratio (replication overhead)"},\n' \
+            "$(ratio "$raw" BenchmarkClusterWallClock/nodes3r2 BenchmarkClusterWallClock/nodes1)"
         printf '          {"name": "ratio: GearCDC ref/fast", "value": %s, "unit": "x", "extra": "geomean ns/op ratio over all corpora"}\n' \
             "$(ratio "$raw" BenchmarkGearCDCRef/ BenchmarkGearCDC/)"
         printf '        ]\n'
@@ -178,6 +183,7 @@ if [[ "${1:-}" == "--record" ]]; then
         echo "# ns/op geomean ratios at record time (>1.00 means the second case is faster):"
         echo "#   DataPlaneWallClock serial/parallel = $(ratio "$RAW" BenchmarkDataPlaneWallClock/serial BenchmarkDataPlaneWallClock/parallel)"
         echo "#   ServeWallClock shards1/shards4     = $(ratio "$RAW" BenchmarkServeWallClock/shards1 BenchmarkServeWallClock/shards4)"
+        echo "#   ClusterWallClock nodes3r2/nodes1   = $(ratio "$RAW" BenchmarkClusterWallClock/nodes3r2 BenchmarkClusterWallClock/nodes1)"
         echo "#   GearCDC ref/fast (all corpora)     = $(ratio "$RAW" BenchmarkGearCDCRef/ BenchmarkGearCDC/)"
         echo "# On a single-core host the first two ratios hover near 1.00: the parallel"
         echo "# and sharded cases time-slice one CPU, so only dispatch overhead separates"
