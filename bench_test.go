@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	"inlinered/internal/experiments"
+	"inlinered/internal/metrics"
 )
 
 // benchConfig scales benchmark runs down unless the caller asked for more.
@@ -136,6 +137,11 @@ func BenchmarkDataPlaneWallClock(b *testing.B) {
 const serveAllocsPerOpCeiling = 5.0
 
 func BenchmarkServeWallClock(b *testing.B) {
+	// The wall-clock metrics layer rides along: it must not change the
+	// report or the allocs/storage-op ceiling (its hot path is
+	// alloc-free), and it gives the benchmark a utilization digest.
+	metrics.Enable()
+	defer metrics.Disable()
 	ops := 30000
 	if testing.Short() {
 		ops = 8000
@@ -195,6 +201,7 @@ func BenchmarkServeWallClock(b *testing.B) {
 			}
 		})
 	}
+	b.Log(metrics.SummaryLine())
 }
 
 // BenchmarkE1PrelimIndexing — §3.1(3): CPU vs GPU indexing time; paper: CPU

@@ -1,0 +1,471 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Chart geometry. The SVG coordinate space is fixed; CSS scales it.
+const (
+	chartW = 720
+	chartH = 260
+	padL   = 56 // y tick labels
+	padR   = 14
+	padT   = 12
+	padB   = 30 // x tick labels
+)
+
+// HTML renders the dashboard as one self-contained page: inline CSS
+// (light and dark from the same validated palette), inline SVG line
+// charts, and one inline script for the hover layer and theme toggle.
+// Nothing references the network.
+func (d *Dashboard) HTML(title string) []byte {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	b.WriteString("<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
+	b.WriteString("<style>\n" + pageCSS + "</style>\n</head>\n<body>\n")
+
+	fmt.Fprintf(&b, "<header><h1>%s</h1>", html.EscapeString(title))
+	b.WriteString(`<button id="theme" type="button">theme: auto</button></header>` + "\n")
+	fmt.Fprintf(&b, "<p class=\"sub\">%d trajectory points, PR %d to PR %d. Geomean per PR; hover or focus a column for exact values, or open a chart&#39;s data table.</p>\n",
+		len(d.PRs), d.PRs[0], d.PRs[len(d.PRs)-1])
+
+	if len(d.HostChanges) > 0 {
+		b.WriteString("<div class=\"hosts\"><strong>Host changes</strong> (vertical markers on every chart): ")
+		for i, hc := range d.HostChanges {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			fmt.Fprintf(&b, "PR %d &#8594; %s", hc.PR, html.EscapeString(hc.Desc))
+		}
+		b.WriteString(". Wall-clock numbers are not comparable across hosts.</div>\n")
+	}
+
+	// Shared per-PR metadata for the tooltip, escaped here so the
+	// script can assign innerHTML without re-escaping.
+	b.WriteString(`<script type="application/json" id="meta">`)
+	b.Write(d.metaJSON())
+	b.WriteString("</script>\n")
+
+	for _, sec := range d.Sections {
+		fmt.Fprintf(&b, "<h2>%s</h2>\n<div class=\"grid\">\n", html.EscapeString(sec.Title))
+		for ci := range sec.Charts {
+			d.writeChart(&b, &sec.Charts[ci])
+		}
+		b.WriteString("</div>\n")
+	}
+
+	b.WriteString(`<div id="tip" role="status"></div>` + "\n")
+	b.WriteString("<script>\n" + pageJS + "</script>\n</body>\n</html>\n")
+	return []byte(b.String())
+}
+
+// metaJSON emits the per-PR tooltip header lines (PR, short commit,
+// message, host), HTML-escaped.
+func (d *Dashboard) metaJSON() []byte {
+	type meta struct {
+		PR     int    `json:"pr"`
+		Commit string `json:"commit"`
+		Msg    string `json:"msg"`
+		Host   string `json:"host"`
+	}
+	ms := make([]meta, len(d.Entries))
+	for i, e := range d.Entries {
+		id := e.Commit.ID
+		if len(id) > 8 {
+			id = id[:8]
+		}
+		msg := e.Commit.Message
+		if len(msg) > 72 {
+			msg = msg[:72] + "…"
+		}
+		ms[i] = meta{
+			PR:     e.PR,
+			Commit: html.EscapeString(id),
+			Msg:    html.EscapeString(msg),
+			Host:   html.EscapeString(e.Host.String()),
+		}
+	}
+	out, _ := json.Marshal(ms)
+	return out
+}
+
+// writeChart renders one figure: header, legend (for multi-series), SVG
+// plot, embedded series data for the tooltip, and the table view.
+func (d *Dashboard) writeChart(b *strings.Builder, c *Chart) {
+	n := len(d.PRs)
+	plotW := float64(chartW - padL - padR)
+	plotH := float64(chartH - padT - padB)
+	band := plotW / float64(n)
+	x := func(i int) float64 { return float64(padL) + (float64(i)+0.5)*band }
+
+	ymax := 0.0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if !math.IsNaN(v) && v > ymax {
+				ymax = v
+			}
+		}
+	}
+	step := niceStep(ymax)
+	ymax = math.Ceil(ymax/step+1e-9) * step
+	if ymax == 0 {
+		ymax = 1
+	}
+	y := func(v float64) float64 { return float64(padT) + (1-v/ymax)*plotH }
+
+	b.WriteString("<figure class=\"chart\">\n")
+	fmt.Fprintf(b, "<figcaption><span class=\"ct\">%s</span><span class=\"cu\">%s</span></figcaption>\n",
+		html.EscapeString(strings.TrimPrefix(c.Title, "Benchmark")), html.EscapeString(c.Unit))
+	if len(c.Series) > 1 {
+		b.WriteString("<div class=\"legend\">")
+		for j, s := range c.Series {
+			fmt.Fprintf(b, "<span class=\"item\"><span class=\"key s%d\"></span>%s</span>",
+				j%maxSeriesPerChart+1, html.EscapeString(s.Label))
+		}
+		b.WriteString("</div>\n")
+	}
+
+	fmt.Fprintf(b, "<svg viewBox=\"0 0 %d %d\" role=\"img\" aria-label=\"%s, %s per PR\">\n",
+		chartW, chartH, html.EscapeString(c.Title), html.EscapeString(c.Unit))
+
+	// Horizontal gridlines and y tick labels at each step.
+	for v := 0.0; v <= ymax+1e-9; v += step {
+		yy := y(v)
+		cls := "grid"
+		if v == 0 {
+			cls = "axis"
+		}
+		fmt.Fprintf(b, "<line class=\"%s\" x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\"/>\n",
+			cls, padL, yy, chartW-padR, yy)
+		fmt.Fprintf(b, "<text class=\"tick\" x=\"%d\" y=\"%.1f\" text-anchor=\"end\">%s</text>\n",
+			padL-8, yy+4, formatVal(v))
+	}
+
+	// X tick labels: thin to at most ~12 so they never collide.
+	lstep := (n + 11) / 12
+	for i := 0; i < n; i += lstep {
+		fmt.Fprintf(b, "<text class=\"tick\" x=\"%.1f\" y=\"%d\" text-anchor=\"middle\">%d</text>\n",
+			x(i), chartH-padB+20, d.PRs[i])
+	}
+
+	// Host-change annotation markers.
+	for _, hc := range d.HostChanges {
+		for i, pr := range d.PRs {
+			if pr == hc.PR {
+				fmt.Fprintf(b, "<line class=\"annot\" x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\"/>\n",
+					x(i), padT, x(i), chartH-padB)
+			}
+		}
+	}
+
+	// Lines (paths broken at gaps) then markers, so dots sit on top.
+	for j, s := range c.Series {
+		var path strings.Builder
+		pen := false
+		for i, v := range s.Values {
+			if math.IsNaN(v) {
+				pen = false
+				continue
+			}
+			if pen {
+				fmt.Fprintf(&path, " L %.1f %.1f", x(i), y(v))
+			} else {
+				fmt.Fprintf(&path, " M %.1f %.1f", x(i), y(v))
+				pen = true
+			}
+		}
+		fmt.Fprintf(b, "<path class=\"line s%d\" d=\"%s\"/>\n", j%maxSeriesPerChart+1, strings.TrimSpace(path.String()))
+	}
+	for j, s := range c.Series {
+		for i, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			fmt.Fprintf(b, "<circle class=\"mark s%d\" cx=\"%.1f\" cy=\"%.1f\" r=\"4\"/>\n",
+				j%maxSeriesPerChart+1, x(i), y(v))
+		}
+	}
+
+	// Crosshair (shown by the hover layer) and per-PR hit columns. The
+	// hit target is the full band height — far larger than the marks.
+	fmt.Fprintf(b, "<line class=\"crosshair\" x1=\"0\" y1=\"%d\" x2=\"0\" y2=\"%d\"/>\n", padT, chartH-padB)
+	for i := range d.PRs {
+		fmt.Fprintf(b, "<rect class=\"hit\" tabindex=\"0\" data-i=\"%d\" data-cx=\"%.1f\" x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%.0f\"/>\n",
+			i, x(i), float64(padL)+float64(i)*band, padT, band, plotH)
+	}
+	b.WriteString("</svg>\n")
+
+	// Embedded series data for the tooltip: formatted values, null at gaps.
+	b.WriteString(`<script type="application/json" class="cd">`)
+	b.Write(c.dataJSON())
+	b.WriteString("</script>\n")
+
+	// Table view: the WCAG-clean twin of the plot.
+	b.WriteString("<details class=\"tbl\"><summary>Data table</summary>\n<table>\n<thead><tr><th>PR</th>")
+	for _, s := range c.Series {
+		fmt.Fprintf(b, "<th>%s</th>", html.EscapeString(s.Label))
+	}
+	b.WriteString("</tr></thead>\n<tbody>\n")
+	for i, pr := range d.PRs {
+		fmt.Fprintf(b, "<tr><td>%d</td>", pr)
+		for _, s := range c.Series {
+			b.WriteString("<td>" + formatVal(s.Values[i]) + "</td>")
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</tbody>\n</table>\n</details>\n</figure>\n")
+}
+
+// dataJSON emits the chart's series with pre-formatted values (null at
+// gaps) for the tooltip script.
+func (c *Chart) dataJSON() []byte {
+	type ser struct {
+		Label string    `json:"label"`
+		Vals  []*string `json:"vals"`
+	}
+	out := struct {
+		Unit   string `json:"unit"`
+		Series []ser  `json:"series"`
+	}{Unit: c.Unit}
+	for _, s := range c.Series {
+		vs := make([]*string, len(s.Values))
+		for i, v := range s.Values {
+			if !math.IsNaN(v) {
+				f := formatVal(v)
+				vs[i] = &f
+			}
+		}
+		out.Series = append(out.Series, ser{Label: html.EscapeString(s.Label), Vals: vs})
+	}
+	body, _ := json.Marshal(out)
+	return body
+}
+
+// niceStep picks a clean tick step (1/2/2.5/5 x 10^k) targeting about
+// four gridlines.
+func niceStep(max float64) float64 {
+	if max <= 0 {
+		return 1
+	}
+	raw := max / 4
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	for _, m := range []float64{1, 2, 2.5, 5} {
+		if raw <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// formatVal compacts a value for ticks, tooltips, and the table: SI
+// suffixes above 10^4, up-to-3-significant-digit decimals below.
+func formatVal(v float64) string {
+	if math.IsNaN(v) {
+		return "—"
+	}
+	a := math.Abs(v)
+	switch {
+	case a >= 1e12:
+		return trimNum(v/1e12) + "T"
+	case a >= 1e9:
+		return trimNum(v/1e9) + "G"
+	case a >= 1e6:
+		return trimNum(v/1e6) + "M"
+	case a >= 1e4:
+		return trimNum(v/1e3) + "K"
+	default:
+		return trimNum(v)
+	}
+}
+
+func trimNum(v float64) string {
+	s := strconv.FormatFloat(v, 'g', 3, 64)
+	// 'g' can emit exponent notation for tick steps like 2.5e+03; those
+	// all fall in the SI branches above, but guard anyway.
+	if strings.ContainsAny(s, "eE") {
+		s = strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return s
+}
+
+// pageCSS defines the validated palette as custom properties (light
+// values, with the dark steps under both the OS preference and the
+// data-theme toggle, toggle winning) and the mark specs: 2px lines, 8px
+// markers ringed in the surface color, hairline solid gridlines, text in
+// ink tokens only.
+const pageCSS = `
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --gridline: #e1e0d9;
+  --baseline: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --series-4: #eda100;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --gridline: #2c2c2a;
+    --baseline: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+    --series-4: #c98500;
+  }
+}
+:root[data-theme="dark"] {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --page: #0d0d0d;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted: #898781;
+  --gridline: #2c2c2a;
+  --baseline: #383835;
+  --border: rgba(255,255,255,0.10);
+  --series-1: #3987e5;
+  --series-2: #d95926;
+  --series-3: #199e70;
+  --series-4: #c98500;
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0 auto; padding: 24px; max-width: 1560px;
+  background: var(--page); color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+header { display: flex; align-items: baseline; gap: 16px; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 28px 0 10px; }
+.sub, .hosts { color: var(--text-secondary); margin: 4px 0 0; }
+.hosts { margin-top: 10px; }
+#theme {
+  margin-left: auto; padding: 4px 10px; cursor: pointer;
+  background: var(--surface-1); color: var(--text-secondary);
+  border: 1px solid var(--border); border-radius: 6px; font: inherit;
+}
+.grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(380px, 1fr)); gap: 16px; }
+figure.chart {
+  margin: 0; padding: 12px 12px 8px;
+  background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 8px;
+}
+figcaption { display: flex; align-items: baseline; gap: 8px; }
+.ct { font-weight: 600; }
+.cu { color: var(--text-muted); font-size: 12px; }
+.legend { display: flex; flex-wrap: wrap; gap: 4px 14px; margin: 4px 0 2px; color: var(--text-secondary); font-size: 12px; }
+.legend .item { display: inline-flex; align-items: center; gap: 6px; }
+.key { display: inline-block; width: 10px; height: 10px; border-radius: 5px; }
+.key.s1 { background: var(--series-1); }
+.key.s2 { background: var(--series-2); }
+.key.s3 { background: var(--series-3); }
+.key.s4 { background: var(--series-4); }
+svg { display: block; width: 100%; height: auto; }
+svg text { font: 11px system-ui, -apple-system, "Segoe UI", sans-serif; fill: var(--text-muted); font-variant-numeric: tabular-nums; }
+.grid-line, line.grid { stroke: var(--gridline); stroke-width: 1; }
+line.axis { stroke: var(--baseline); stroke-width: 1; }
+line.annot { stroke: var(--baseline); stroke-width: 1; }
+path.line { fill: none; stroke-width: 2; stroke-linecap: round; stroke-linejoin: round; }
+path.line.s1 { stroke: var(--series-1); }
+path.line.s2 { stroke: var(--series-2); }
+path.line.s3 { stroke: var(--series-3); }
+path.line.s4 { stroke: var(--series-4); }
+circle.mark { stroke: var(--surface-1); stroke-width: 2; }
+circle.mark.s1 { fill: var(--series-1); }
+circle.mark.s2 { fill: var(--series-2); }
+circle.mark.s3 { fill: var(--series-3); }
+circle.mark.s4 { fill: var(--series-4); }
+line.crosshair { stroke: var(--baseline); stroke-width: 1; display: none; pointer-events: none; }
+rect.hit { fill: transparent; outline: none; }
+rect.hit:focus-visible { fill: var(--gridline); fill-opacity: 0.35; }
+details.tbl { margin-top: 6px; color: var(--text-secondary); font-size: 12px; }
+details.tbl summary { cursor: pointer; color: var(--text-muted); }
+details.tbl table { border-collapse: collapse; margin-top: 6px; font-variant-numeric: tabular-nums; }
+details.tbl th, details.tbl td { text-align: right; padding: 2px 10px; border-bottom: 1px solid var(--gridline); }
+details.tbl th:first-child, details.tbl td:first-child { text-align: left; }
+#tip {
+  position: absolute; display: none; z-index: 10; max-width: 340px;
+  background: var(--surface-1); color: var(--text-primary);
+  border: 1px solid var(--border); border-radius: 6px;
+  padding: 8px 10px; font-size: 12px; pointer-events: none;
+  box-shadow: 0 2px 8px rgba(0,0,0,0.12);
+}
+#tip .t-title { font-weight: 600; }
+#tip .t-sub { color: var(--text-muted); margin-bottom: 2px; }
+#tip .t-row { display: flex; align-items: center; gap: 6px; }
+#tip .t-val { margin-left: auto; padding-left: 12px; font-variant-numeric: tabular-nums; }
+`
+
+// pageJS wires the hover/focus tooltip layer (the crosshair and the
+// shared tooltip, fed from the embedded JSON) and the theme toggle.
+// Values in the embedded data are pre-escaped by the generator.
+const pageJS = `
+(function () {
+  var meta = JSON.parse(document.getElementById('meta').textContent);
+  var tip = document.getElementById('tip');
+  document.querySelectorAll('figure.chart').forEach(function (fig) {
+    var data = JSON.parse(fig.querySelector('script.cd').textContent);
+    var cross = fig.querySelector('line.crosshair');
+    fig.querySelectorAll('rect.hit').forEach(function (hit) {
+      var i = +hit.dataset.i;
+      function show() {
+        cross.setAttribute('x1', hit.dataset.cx);
+        cross.setAttribute('x2', hit.dataset.cx);
+        cross.style.display = 'block';
+        var m = meta[i];
+        var h = '<div class="t-title">PR ' + m.pr + ' · ' + m.commit + '</div>';
+        if (m.msg) h += '<div class="t-sub">' + m.msg + '</div>';
+        if (m.host) h += '<div class="t-sub">' + m.host + '</div>';
+        data.series.forEach(function (s, j) {
+          if (s.vals[i] == null) return;
+          h += '<div class="t-row"><span class="key s' + (j % 4 + 1) + '"></span>' +
+            s.label + '<span class="t-val">' + s.vals[i] + ' ' + data.unit + '</span></div>';
+        });
+        tip.innerHTML = h;
+        tip.style.display = 'block';
+        var r = hit.getBoundingClientRect();
+        var x = r.left + r.width / 2 + window.scrollX - tip.offsetWidth / 2;
+        x = Math.max(8, Math.min(x, window.scrollX + document.documentElement.clientWidth - tip.offsetWidth - 8));
+        tip.style.left = x + 'px';
+        tip.style.top = (r.top + window.scrollY - tip.offsetHeight - 8) + 'px';
+      }
+      function hide() {
+        tip.style.display = 'none';
+        cross.style.display = 'none';
+      }
+      hit.addEventListener('mouseenter', show);
+      hit.addEventListener('mouseleave', hide);
+      hit.addEventListener('focus', show);
+      hit.addEventListener('blur', hide);
+    });
+  });
+  var btn = document.getElementById('theme');
+  btn.addEventListener('click', function () {
+    var root = document.documentElement;
+    var cur = root.getAttribute('data-theme');
+    var next = cur === 'dark' ? 'light' : cur === 'light' ? '' : 'dark';
+    if (next) root.setAttribute('data-theme', next);
+    else root.removeAttribute('data-theme');
+    btn.textContent = 'theme: ' + (next || 'auto');
+  });
+})();
+`

@@ -1,0 +1,64 @@
+// Command benchdash merges the per-PR benchmark trajectory points
+// (BENCH_<n>.json, written by scripts/bench-compare.sh in the
+// github-action-benchmark data.js shape) into a cumulative data.js plus a
+// self-contained static HTML/SVG dashboard of the benchmark trajectory:
+// ns/op, MB/s, and allocs/op series per benchmark, the headline speedup
+// ratios, and host-change annotations where the recording machine changed
+// between PRs.
+//
+// Usage:
+//
+//	benchdash [-dir .] [-out benchdash] [-title "..."]
+//
+// -dir is scanned for BENCH_<n>.json files; <n> is the PR number and
+// orders the series numerically (BENCH_10 after BENCH_9, not after
+// BENCH_1). -out receives data.js (the merged trajectory, loadable by
+// github-action-benchmark's default index.html) and index.html (the
+// static dashboard — inline CSS, inline SVG, inline JS; no external
+// fetches of any kind, so it renders from file:// and from a CI artifact
+// page alike).
+//
+// Entries without a "host" envelope field (older trajectory points) are
+// tolerated; host-change annotations only mark PRs where host metadata is
+// present and differs from the last known host.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory scanned for BENCH_<n>.json trajectory points")
+	out := flag.String("out", "benchdash", "output directory for data.js and index.html")
+	title := flag.String("title", "inlinered benchmark trajectory", "dashboard title")
+	flag.Parse()
+
+	dash, err := Build(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	dataJS, err := dash.DataJS()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(*out, "data.js"), dataJS, 0o644); err != nil {
+		fatal(err)
+	}
+	html := dash.HTML(*title)
+	if err := os.WriteFile(filepath.Join(*out, "index.html"), html, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchdash: %d trajectory points (PR %d..%d), %d charts -> %s\n",
+		len(dash.PRs), dash.PRs[0], dash.PRs[len(dash.PRs)-1], dash.ChartCount(), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdash:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,318 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// writeBench writes a minimal BENCH_<pr>.json fixture.
+func writeBench(t *testing.T, dir string, pr int, host *Host, benches []Bench) {
+	t.Helper()
+	bf := BenchFile{
+		LastUpdate: int64(1000 * pr),
+		Entries: map[string][]Entry{seriesKey: {{
+			Commit:  Commit{ID: strings.Repeat("a", 8) + "deadbeef", Message: "commit for PR"},
+			Date:    int64(1000 * pr),
+			Tool:    "go",
+			Host:    host,
+			Benches: benches,
+		}}},
+	}
+	data, err := json.Marshal(bf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Join(dir, "BENCH_"+itoa(pr)+".json")
+	if err := os.WriteFile(name, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+func bench(name string, v float64, unit string) Bench {
+	n := name
+	if unit != "ns/op" && unit != "x" {
+		n = name + " - " + unit
+	}
+	return Bench{Name: n, Value: v, Unit: unit}
+}
+
+// TestMergeOrdering pins numeric (not lexical) PR ordering: BENCH_10
+// sorts after BENCH_9, not between BENCH_1 and BENCH_2.
+func TestMergeOrdering(t *testing.T) {
+	dir := t.TempDir()
+	for _, pr := range []int{10, 2, 1, 9} {
+		writeBench(t, dir, pr, nil, []Bench{bench("BenchmarkX", float64(pr), "ns/op")})
+	}
+	d, err := Build(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 9, 10}
+	if len(d.PRs) != len(want) {
+		t.Fatalf("got %v PRs, want %v", d.PRs, want)
+	}
+	for i, pr := range want {
+		if d.PRs[i] != pr {
+			t.Fatalf("PR order %v, want %v", d.PRs, want)
+		}
+		if d.Entries[i].PR != pr {
+			t.Errorf("entry %d not stamped with PR %d", i, pr)
+		}
+	}
+}
+
+// TestSeriesGapsAndHosts pins the two tolerance requirements: entries
+// without a host field merge cleanly, and a benchmark absent from an
+// older trajectory point yields a gap (NaN), not an error or a zero.
+func TestSeriesGapsAndHosts(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, 1, nil, []Bench{
+		bench("BenchmarkOld/a", 100, "ns/op"),
+	})
+	h2 := &Host{CPU: "cpu-a", Threads: 1, GOMAXPROCS: 1, GOARCH: "amd64", GoVersion: "go1.24"}
+	writeBench(t, dir, 2, h2, []Bench{
+		bench("BenchmarkOld/a", 90, "ns/op"),
+		bench("BenchmarkNew/b", 7, "ns/op"),
+	})
+	h3 := &Host{CPU: "cpu-b", Threads: 8, GOMAXPROCS: 8, GOARCH: "arm64", GoVersion: "go1.24"}
+	writeBench(t, dir, 3, h3, []Bench{
+		bench("BenchmarkOld/a", 80, "ns/op"),
+		bench("BenchmarkNew/b", 6, "ns/op"),
+	})
+
+	d, err := Build(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var newSeries *Series
+	for si := range d.Sections {
+		for ci := range d.Sections[si].Charts {
+			c := &d.Sections[si].Charts[ci]
+			if c.Title == "BenchmarkNew" {
+				newSeries = &c.Series[0]
+			}
+		}
+	}
+	if newSeries == nil {
+		t.Fatal("BenchmarkNew chart not built")
+	}
+	if !math.IsNaN(newSeries.Values[0]) {
+		t.Errorf("missing PR-1 point should be NaN, got %v", newSeries.Values[0])
+	}
+	if newSeries.Values[1] != 7 || newSeries.Values[2] != 6 {
+		t.Errorf("series values %v", newSeries.Values)
+	}
+
+	// Host changes: first known host (PR 2) and the switch (PR 3); the
+	// hostless PR 1 must neither annotate nor error.
+	if len(d.HostChanges) != 2 || d.HostChanges[0].PR != 2 || d.HostChanges[1].PR != 3 {
+		t.Errorf("host changes %+v, want PRs 2 and 3", d.HostChanges)
+	}
+	if !strings.Contains(d.HostChanges[1].Desc, "cpu-b") {
+		t.Errorf("host change desc %q", d.HostChanges[1].Desc)
+	}
+}
+
+// TestFacetPastPaletteCap pins the series cap: a benchmark group with
+// more sub-benchmarks than validated categorical slots facets into
+// single-series small multiples rather than cycling hues.
+func TestFacetPastPaletteCap(t *testing.T) {
+	dir := t.TempDir()
+	var bs []Bench
+	subs := []string{"a", "b", "c", "d", "e"}
+	for _, s := range subs {
+		bs = append(bs, bench("BenchmarkWide/"+s, 1, "ns/op"))
+	}
+	bs = append(bs, bench("BenchmarkNarrow/x", 1, "ns/op"), bench("BenchmarkNarrow/y", 2, "ns/op"))
+	writeBench(t, dir, 1, nil, bs)
+
+	d, err := Build(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var titles []string
+	for _, sec := range d.Sections {
+		for _, c := range sec.Charts {
+			titles = append(titles, c.Title)
+			if len(c.Series) > maxSeriesPerChart {
+				t.Errorf("chart %q has %d series, cap is %d", c.Title, len(c.Series), maxSeriesPerChart)
+			}
+		}
+	}
+	for _, s := range subs {
+		want := "BenchmarkWide/" + s
+		found := false
+		for _, ti := range titles {
+			if ti == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("faceted chart %q missing (titles %v)", want, titles)
+		}
+	}
+	// The two-series group stays one chart.
+	narrow := 0
+	for _, ti := range titles {
+		if strings.HasPrefix(ti, "BenchmarkNarrow") {
+			narrow++
+		}
+	}
+	if narrow != 1 {
+		t.Errorf("BenchmarkNarrow split into %d charts, want 1", narrow)
+	}
+}
+
+// TestDataJS pins the merged data.js shape: the assignment prefix, valid
+// JSON after it, entries in PR order, and lastUpdate = newest point.
+func TestDataJS(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, 2, nil, []Bench{bench("BenchmarkX", 2, "ns/op")})
+	writeBench(t, dir, 1, nil, []Bench{bench("BenchmarkX", 1, "ns/op")})
+	d, err := Build(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.DataJS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const prefix = "window.BENCHMARK_DATA = "
+	if !strings.HasPrefix(string(out), prefix) {
+		t.Fatalf("data.js must start with %q", prefix)
+	}
+	var bf BenchFile
+	if err := json.Unmarshal(out[len(prefix):], &bf); err != nil {
+		t.Fatalf("payload after prefix is not JSON: %v", err)
+	}
+	es := bf.Entries[seriesKey]
+	if len(es) != 2 || es[0].PR != 1 || es[1].PR != 2 {
+		t.Fatalf("merged entries out of order: %+v", es)
+	}
+	if bf.LastUpdate != 2000 {
+		t.Errorf("lastUpdate %d, want 2000 (newest point)", bf.LastUpdate)
+	}
+}
+
+// TestHTMLSelfContained renders the dashboard and pins the contract the
+// CI artifact depends on: no network references of any kind, an SVG line
+// chart per group, a legend for multi-series charts, the table view, and
+// the host-change note.
+func TestHTMLSelfContained(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, 1, nil, []Bench{
+		bench("BenchmarkPipe/serial", 100, "ns/op"),
+		bench("BenchmarkPipe/parallel", 60, "ns/op"),
+		bench("BenchmarkPipe/serial", 40, "MB/s"),
+		{Name: "ratio: serial/parallel", Value: 1.6, Unit: "x"},
+	})
+	writeBench(t, dir, 2, &Host{CPU: "test-cpu <&>", Threads: 4}, []Bench{
+		bench("BenchmarkPipe/serial", 90, "ns/op"),
+		bench("BenchmarkPipe/parallel", 55, "ns/op"),
+		bench("BenchmarkPipe/serial", 44, "MB/s"),
+		{Name: "ratio: serial/parallel", Value: 1.63, Unit: "x"},
+	})
+	d, err := Build(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(d.HTML("trajectory"))
+
+	for _, banned := range []string{"http:", "https:", "//cdn", "<script src", "<link "} {
+		if strings.Contains(page, banned) {
+			t.Errorf("page references the network: found %q", banned)
+		}
+	}
+	for _, want := range []string{
+		"<svg", "path class=\"line s1\"", "path class=\"line s2\"", // two series, two slots
+		"class=\"legend\"",     // legend for the multi-series chart
+		"Data table",           // table view
+		"Host changes",         // annotation note
+		"line class=\"annot\"", // annotation marker in the SVG
+		"crosshair",            // hover layer
+		"prefers-color-scheme", // selected dark mode
+		"test-cpu &lt;&amp;&gt;",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+	if strings.Contains(page, "test-cpu <&>") {
+		t.Error("host string not escaped")
+	}
+
+	// Ratio chart: single series on the ratio plot for this fixture.
+	if !strings.Contains(page, "Headline ratios (geomean ns/op)") {
+		t.Error("ratio chart missing")
+	}
+	// All sections in fixed order.
+	i1 := strings.Index(page, "Wall-clock time (ns/op)")
+	i2 := strings.Index(page, "Throughput (MB/s)")
+	i3 := strings.Index(page, "Headline ratios")
+	if i1 < 0 || i2 < 0 || i3 < 0 || !(i1 < i2 && i2 < i3) {
+		t.Errorf("section order wrong: ns/op@%d MB/s@%d ratios@%d", i1, i2, i3)
+	}
+}
+
+// TestRepoTrajectory runs the merger over the repo's real committed
+// trajectory points, so a malformed BENCH_<n>.json can never land.
+func TestRepoTrajectory(t *testing.T) {
+	d, err := Build("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.PRs) < 2 {
+		t.Fatalf("expected at least the PR-6 and PR-7 trajectory points, got %v", d.PRs)
+	}
+	if d.ChartCount() == 0 {
+		t.Fatal("no charts built from committed trajectory")
+	}
+	if _, err := d.DataJS(); err != nil {
+		t.Fatal(err)
+	}
+	page := string(d.HTML("x"))
+	if strings.Contains(page, "http") {
+		t.Error("rendered dashboard references the network")
+	}
+}
+
+func TestFormatVal(t *testing.T) {
+	cases := map[float64]string{
+		0:         "0",
+		1.63:      "1.63",
+		490864000: "491M",
+		55937.3:   "55.9K",
+		136.716:   "137",
+		2.5e12:    "2.5T",
+	}
+	for in, want := range cases {
+		if got := formatVal(in); got != want {
+			t.Errorf("formatVal(%g) = %q, want %q", in, got, want)
+		}
+	}
+	if got := formatVal(math.NaN()); got != "—" {
+		t.Errorf("NaN formatted as %q", got)
+	}
+}
+
+func TestNiceStep(t *testing.T) {
+	cases := map[float64]float64{
+		100:  25,
+		1000: 250,
+		7:    2,
+		1.6:  0.5,
+		0:    1,
+	}
+	for in, want := range cases {
+		if got := niceStep(in); math.Abs(got-want) > 1e-9 {
+			t.Errorf("niceStep(%g) = %g, want %g", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// seriesKey is the github-action-benchmark entry list every BENCH_<n>.json
+// file uses (bench-compare.sh writes one entry under it per run).
+const seriesKey = "Go Benchmark"
+
+// maxSeriesPerChart caps how many lines share one plot. Four is the
+// largest categorical palette that stays colorblind-safe for adjacent
+// line series; groups with more sub-benchmarks facet into single-series
+// small multiples instead of growing the palette.
+const maxSeriesPerChart = 4
+
+var benchFileRE = regexp.MustCompile(`^BENCH_([0-9]+)\.json$`)
+
+// BenchFile is the github-action-benchmark data.js document shape.
+type BenchFile struct {
+	LastUpdate int64              `json:"lastUpdate"`
+	RepoURL    string             `json:"repoUrl"`
+	Entries    map[string][]Entry `json:"entries"`
+}
+
+// Commit identifies the trajectory point's commit.
+type Commit struct {
+	ID        string `json:"id"`
+	Message   string `json:"message"`
+	Timestamp string `json:"timestamp"`
+	URL       string `json:"url"`
+}
+
+// Host is the optional recording-machine envelope bench-compare.sh adds
+// to new trajectory points. Older points lack it entirely.
+type Host struct {
+	CPU        string `json:"cpu,omitempty"`
+	Threads    int    `json:"threads,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+	GOARCH     string `json:"goarch,omitempty"`
+	GoVersion  string `json:"go,omitempty"`
+}
+
+// Key collapses a host to a comparable identity string; an empty key
+// means "unknown host".
+func (h *Host) Key() string {
+	if h == nil {
+		return ""
+	}
+	return fmt.Sprintf("%s|%d|%d|%s|%s", h.CPU, h.Threads, h.GOMAXPROCS, h.GOARCH, h.GoVersion)
+}
+
+// String renders the host for annotations and tooltips.
+func (h *Host) String() string {
+	if h == nil {
+		return ""
+	}
+	parts := []string{}
+	if h.CPU != "" {
+		parts = append(parts, h.CPU)
+	}
+	if h.Threads > 0 {
+		parts = append(parts, fmt.Sprintf("%d thread(s)", h.Threads))
+	}
+	if h.GOMAXPROCS > 0 {
+		parts = append(parts, fmt.Sprintf("GOMAXPROCS %d", h.GOMAXPROCS))
+	}
+	if h.GOARCH != "" {
+		parts = append(parts, h.GOARCH)
+	}
+	if h.GoVersion != "" {
+		parts = append(parts, h.GoVersion)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Entry is one trajectory point. PR is not part of the on-disk shape of
+// the inputs; the merger stamps it from the filename so downstream
+// consumers of the merged data.js can recover the ordering key.
+type Entry struct {
+	Commit  Commit  `json:"commit"`
+	Date    int64   `json:"date"`
+	Tool    string  `json:"tool"`
+	Host    *Host   `json:"host,omitempty"`
+	Benches []Bench `json:"benches"`
+	PR      int     `json:"pr,omitempty"`
+}
+
+// Bench is one (benchmark, unit) measurement.
+type Bench struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	Extra string  `json:"extra,omitempty"`
+}
+
+// Series is one line on a chart: Values is aligned to the dashboard's PR
+// list, with NaN where the benchmark did not exist yet (or was retired).
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Chart is one plot: up to maxSeriesPerChart series sharing a unit.
+type Chart struct {
+	Title  string
+	Unit   string
+	Series []Series
+}
+
+// Section groups charts by unit for the page layout.
+type Section struct {
+	Title  string
+	Charts []Chart
+}
+
+// HostChange marks a PR whose recording host differs from the last known
+// one (or is the first PR with host metadata at all).
+type HostChange struct {
+	PR   int
+	Desc string
+}
+
+// Dashboard is the fully merged trajectory, ready to serialize.
+type Dashboard struct {
+	RepoURL     string
+	PRs         []int
+	Entries     []Entry // aligned to PRs
+	Sections    []Section
+	HostChanges []HostChange
+}
+
+// ChartCount reports the total number of charts across sections.
+func (d *Dashboard) ChartCount() int {
+	n := 0
+	for _, s := range d.Sections {
+		n += len(s.Charts)
+	}
+	return n
+}
+
+// Build scans dir for BENCH_<n>.json files and merges them into a
+// dashboard, ordered numerically by <n>.
+func Build(dir string) (*Dashboard, error) {
+	entries, repoURL, err := load(dir)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(entries, repoURL), nil
+}
+
+// load reads and orders the trajectory points.
+func load(dir string) ([]Entry, string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	type point struct {
+		pr   int
+		path string
+	}
+	var files []point
+	for _, de := range des {
+		m := benchFileRE.FindStringSubmatch(de.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		files = append(files, point{n, filepath.Join(dir, de.Name())})
+	}
+	if len(files) == 0 {
+		return nil, "", fmt.Errorf("no BENCH_<n>.json files in %s", dir)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].pr < files[j].pr })
+
+	var entries []Entry
+	repoURL := ""
+	for _, f := range files {
+		data, err := os.ReadFile(f.path)
+		if err != nil {
+			return nil, "", err
+		}
+		var bf BenchFile
+		if err := json.Unmarshal(data, &bf); err != nil {
+			return nil, "", fmt.Errorf("%s: %w", f.path, err)
+		}
+		if bf.RepoURL != "" {
+			repoURL = bf.RepoURL
+		}
+		pts := bf.Entries[seriesKey]
+		if len(pts) == 0 {
+			return nil, "", fmt.Errorf("%s: no %q entries", f.path, seriesKey)
+		}
+		for _, e := range pts {
+			e.PR = f.pr
+			entries = append(entries, e)
+		}
+	}
+	return entries, repoURL, nil
+}
+
+// caseName strips the " - <unit>" suffix github-action-benchmark's go
+// parser appends for non-ns/op units, recovering the benchmark case name.
+func caseName(b Bench) string {
+	return strings.TrimSuffix(b.Name, " - "+b.Unit)
+}
+
+// assemble turns ordered entries into aligned series, charts, and
+// sections.
+func assemble(entries []Entry, repoURL string) *Dashboard {
+	d := &Dashboard{RepoURL: repoURL, Entries: entries}
+	for _, e := range entries {
+		d.PRs = append(d.PRs, e.PR)
+	}
+
+	// Collect every (case, unit) into a PR-aligned value vector,
+	// preserving first-seen order so charts stay stable across runs.
+	type key struct{ name, unit string }
+	vals := map[key][]float64{}
+	var order []key
+	for i, e := range entries {
+		for _, b := range e.Benches {
+			k := key{caseName(b), b.Unit}
+			v, seen := vals[k]
+			if !seen {
+				v = make([]float64, len(entries))
+				for j := range v {
+					v[j] = math.NaN()
+				}
+				order = append(order, k)
+			}
+			v[i] = b.Value
+			vals[k] = v
+		}
+	}
+
+	// Group into charts: ratio benches (unit "x") share one plot; every
+	// other case groups with its sibling sub-benchmarks per unit.
+	type chartKey struct{ title, unit string }
+	charts := map[chartKey]*Chart{}
+	var chartOrder []chartKey
+	for _, k := range order {
+		var ck chartKey
+		label := k.name
+		if k.unit == "x" {
+			ck = chartKey{"Headline ratios (geomean ns/op)", "x"}
+			label = strings.TrimPrefix(k.name, "ratio: ")
+		} else {
+			parent := k.name
+			if i := strings.IndexByte(k.name, '/'); i >= 0 {
+				parent = k.name[:i]
+				label = k.name[i+1:]
+			}
+			ck = chartKey{parent, k.unit}
+		}
+		c, seen := charts[ck]
+		if !seen {
+			c = &Chart{Title: ck.title, Unit: ck.unit}
+			charts[ck] = c
+			chartOrder = append(chartOrder, ck)
+		}
+		c.Series = append(c.Series, Series{Label: label, Values: vals[k]})
+	}
+
+	// Facet over-full charts into single-series small multiples rather
+	// than growing the palette past its validated size.
+	sections := map[string]*Section{}
+	for _, ck := range chartOrder {
+		c := charts[ck]
+		sec := sectionFor(ck.unit)
+		s, seen := sections[sec.Title]
+		if !seen {
+			s = &Section{Title: sec.Title}
+			sections[sec.Title] = s
+		}
+		if len(c.Series) <= maxSeriesPerChart {
+			s.Charts = append(s.Charts, *c)
+			continue
+		}
+		for _, ser := range c.Series {
+			s.Charts = append(s.Charts, Chart{
+				Title:  c.Title + "/" + ser.Label,
+				Unit:   c.Unit,
+				Series: []Series{{Label: ser.Label, Values: ser.Values}},
+			})
+		}
+	}
+	for _, sec := range sectionOrder {
+		if s, ok := sections[sec.Title]; ok {
+			d.Sections = append(d.Sections, *s)
+			delete(sections, sec.Title)
+		}
+	}
+	// Any unit we did not anticipate still gets a section, in name order.
+	var rest []string
+	for t := range sections {
+		rest = append(rest, t)
+	}
+	sort.Strings(rest)
+	for _, t := range rest {
+		d.Sections = append(d.Sections, *sections[t])
+	}
+
+	// Host-change annotations: mark a PR when its (known) host differs
+	// from the last known host. Unknown hosts never trigger or reset.
+	lastKnown := ""
+	for _, e := range entries {
+		k := e.Host.Key()
+		if k == "" || k == lastKnown {
+			continue
+		}
+		d.HostChanges = append(d.HostChanges, HostChange{PR: e.PR, Desc: e.Host.String()})
+		lastKnown = k
+	}
+	return d
+}
+
+// sectionOrder fixes the page layout: time, throughput, allocations,
+// ratios.
+var sectionOrder = []Section{
+	{Title: "Wall-clock time (ns/op)"},
+	{Title: "Throughput (MB/s)"},
+	{Title: "Allocations"},
+	{Title: "Headline ratios"},
+}
+
+func sectionFor(unit string) Section {
+	switch unit {
+	case "ns/op":
+		return sectionOrder[0]
+	case "MB/s":
+		return sectionOrder[1]
+	case "allocs/op", "allocs/storage-op", "B/op":
+		return sectionOrder[2]
+	case "x":
+		return sectionOrder[3]
+	default:
+		return Section{Title: "Other (" + unit + ")"}
+	}
+}
+
+// DataJS renders the merged trajectory as a github-action-benchmark
+// compatible data.js: one "Go Benchmark" series holding every PR's entry
+// in order, each stamped with its PR number.
+func (d *Dashboard) DataJS() ([]byte, error) {
+	last := int64(0)
+	for _, e := range d.Entries {
+		if e.Date > last {
+			last = e.Date
+		}
+	}
+	doc := BenchFile{
+		LastUpdate: last,
+		RepoURL:    d.RepoURL,
+		Entries:    map[string][]Entry{seriesKey: d.Entries},
+	}
+	body, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	b.WriteString("window.BENCHMARK_DATA = ")
+	b.Write(body)
+	b.WriteString("\n")
+	return []byte(b.String()), nil
+}

@@ -8,6 +8,7 @@
 //	          [-in FILE | -mb N -dedup R -comp R] [-chunk N]
 //	          [-no-dedup] [-no-compress] [-destage] [-seed N]
 //	          [-faults SEED:RATE] [-json] [-trace-out FILE]
+//	          [-metrics-out FILE [-metrics-interval N]]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //	reducerun -shards N [-clients C] [-serve-ops N] [-blocks N]
 //	          [-dedup R] [-seed N] [-faults SEED:RATE] [-json]
@@ -22,6 +23,13 @@
 // virtual-time spans, viewable in Perfetto or chrome://tracing. The trace
 // and report are bit-identical for any -par value at a fixed seed.
 // -cpuprofile/-memprofile capture host pprof profiles of the run itself.
+//
+// -metrics-out enables the wall-clock metrics layer and writes a
+// Prometheus text-format snapshot of it (pool utilization, per-stage wall
+// time, Go runtime telemetry) to FILE — once at startup, every
+// -metrics-interval seconds while running, and once at exit. Metrics are a
+// strict side channel: every report and trace is bit-identical with them
+// on or off.
 //
 // -shards switches from the stream pipeline to the sharded serving
 // front-end: a deterministic closed-loop op mix is served across N
@@ -46,8 +54,10 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"inlinered"
+	"inlinered/internal/metrics"
 )
 
 func main() {
@@ -76,6 +86,8 @@ func main() {
 	blocks := flag.Int64("blocks", 16384, "LBA space in blocks with -shards")
 	jsonOut := flag.Bool("json", false, "print the report as JSON on stdout (status goes to stderr)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file of the run's virtual-time spans")
+	metricsOut := flag.String("metrics-out", "", "write wall-clock metrics (Prometheus text format) to this file; a pure side channel — reports are bit-identical with it on or off")
+	metricsInterval := flag.Int("metrics-interval", 0, "seconds between -metrics-out snapshot rewrites while running (0 = final snapshot only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU pprof profile to this file")
 	memProfile := flag.String("memprofile", "", "write a host heap pprof profile to this file")
 	flag.Parse()
@@ -85,6 +97,19 @@ func main() {
 	info := os.Stdout
 	if *jsonOut {
 		info = os.Stderr
+	}
+
+	if *metricsOut != "" {
+		stop, err := metrics.StartSnapshotter(*metricsOut, time.Duration(*metricsInterval)*time.Second)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(info, "wrote wall-clock metrics to %s\n", *metricsOut)
+		}()
 	}
 
 	faultSeed, faultRate, err := parseFaults(*faults)

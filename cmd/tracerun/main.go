@@ -16,6 +16,9 @@
 // -json prints the replay report as stable JSON on stdout; -trace-out
 // writes a Chrome trace-event file of the volume's virtual-time spans.
 // -cpuprofile/-memprofile capture host pprof profiles of the replay.
+// -metrics-out FILE [-metrics-interval N] writes Prometheus text-format
+// snapshots of the wall-clock metrics layer; reports and traces stay
+// bit-identical with metrics on or off.
 //
 // -shards N routes the trace across N independent volume shards behind the
 // goroutine-safe serving front-end, with -clients concurrent workers on the
@@ -38,9 +41,11 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"inlinered/internal/cluster"
 	"inlinered/internal/fault"
+	"inlinered/internal/metrics"
 	"inlinered/internal/obs"
 	"inlinered/internal/serve"
 	"inlinered/internal/trace"
@@ -68,9 +73,24 @@ func main() {
 	replicas := flag.Int("replicas", 1, "cluster replication factor (<= nodes)")
 	nodeFaults := flag.String("node-faults", "", "node-level fault injection as SEED:RATE (crashes + replica divergence); empty disables")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file of the replay's virtual-time spans")
+	metricsOut := flag.String("metrics-out", "", "write wall-clock metrics (Prometheus text format) to this file; a pure side channel — reports are bit-identical with it on or off")
+	metricsInterval := flag.Int("metrics-interval", 0, "seconds between -metrics-out snapshot rewrites while running (0 = final snapshot only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU pprof profile to this file")
 	memProfile := flag.String("memprofile", "", "write a host heap pprof profile to this file")
 	flag.Parse()
+
+	if *metricsOut != "" {
+		stop, err := metrics.StartSnapshotter(*metricsOut, time.Duration(*metricsInterval)*time.Second)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "tracerun: wrote wall-clock metrics to %s\n", *metricsOut)
+		}()
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"inlinered/internal/fault"
+	"inlinered/internal/metrics"
 	"inlinered/internal/obs"
 	"inlinered/internal/serve"
 	"inlinered/internal/sim"
@@ -548,7 +549,9 @@ func (c *Cluster) Serve(ops []workload.Op, opt RunOptions) (*Report, error) {
 				if i >= nn {
 					return
 				}
+				serveStart := metrics.Clock()
 				rep, err := nodes[i].arr.Serve(seq.queues[i], nodeOpt)
+				metrics.ClusterNodeServe.ObserveSince(serveStart)
 				if err != nil {
 					errs[i] = err
 					continue
@@ -589,6 +592,8 @@ func (c *Cluster) Serve(ops []workload.Op, opt RunOptions) (*Report, error) {
 // replay sequence is deterministic) and marks it live again. Caller holds
 // the cluster mutex.
 func (c *Cluster) rejoin(seq *sequencer, n int, opIdx int) {
+	replayStart := metrics.Clock()
+	defer metrics.ClusterReplay.ObserveSince(replayStart)
 	lbas := make([]int64, 0, len(seq.dirty[n]))
 	for lba := range seq.dirty[n] {
 		lbas = append(lbas, lba)

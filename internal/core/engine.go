@@ -14,6 +14,7 @@ import (
 	"inlinered/internal/fault"
 	"inlinered/internal/gpu"
 	"inlinered/internal/lz"
+	"inlinered/internal/metrics"
 	"inlinered/internal/obs"
 	"inlinered/internal/parallel"
 	"inlinered/internal/sim"
@@ -322,7 +323,11 @@ func (e *Engine) Process(r io.Reader) (*Report, error) {
 	var window []*hashedBatch
 	batch := e.getBatchSlice()
 	for {
+		// Wall-clock chunk stage (metrics side channel; the virtual-time
+		// charge for chunking happens in hashBatch, untouched).
+		ckStart := metrics.Clock()
 		c, err := ck.Next()
+		metrics.StageChunk.ObserveSince(ckStart)
 		if err == io.EOF {
 			break
 		}
@@ -430,6 +435,8 @@ type hashedBatch struct {
 // (no cross-chunk dependency, §3.1 — every hardware thread hashes chunks
 // independently; every chunk "arrives" at time zero, open loop).
 func (e *Engine) hashBatch(chunks [][]byte) *hashedBatch {
+	hashStart := metrics.Clock()
+	defer metrics.StageHash.ObserveSince(hashStart)
 	cost := e.cpu.Cost
 	var hb *hashedBatch
 	if n := len(e.hbFree); n > 0 {
@@ -544,6 +551,7 @@ func (e *Engine) precompute(hb *hashedBatch) []preChunk {
 	// Pass 1 — sequential dedup decisions. A chunk will commit as unique
 	// iff no screening hit, no index hit, no in-flight twin, and no earlier
 	// first occurrence in this same batch.
+	decideStart := metrics.Clock()
 	uniq := e.uniq[:0]
 	if !e.cfg.Dedup {
 		for i := range chunks {
@@ -575,6 +583,7 @@ func (e *Engine) precompute(hb *hashedBatch) []preChunk {
 		}
 	}
 	e.uniq = uniq
+	metrics.StageDedupDecide.ObserveSince(decideStart)
 	if len(uniq) == 0 {
 		return nil
 	}
@@ -590,7 +599,9 @@ func (e *Engine) precompute(hb *hashedBatch) []preChunk {
 	e.preChunks = chunks
 	e.preGPUMode = gpuMode
 	e.preThreshold = e.entropyThreshold()
+	compressStart := metrics.Clock()
 	e.pool.Map(len(uniq), e.preFn)
+	metrics.StageCompress.ObserveSince(compressStart)
 	e.preChunks = nil
 	return pre
 }
@@ -621,6 +632,11 @@ func (e *Engine) downstream(hb *hashedBatch) error {
 	// cores before the sequential commit below (wall-clock only — the
 	// virtual clock is charged in the commit pass, in stream order).
 	pre := e.precompute(hb)
+
+	// Wall-clock commit stage: everything below — probes, inserts, inline
+	// fallbacks, destage — runs sequentially on this goroutine.
+	commitStart := metrics.Clock()
+	defer metrics.StageCommit.ObserveSince(commitStart)
 
 	// Stages 2+ commit per chunk in stream order: probe (Figure 1: GPU
 	// screening result, bin buffer, bin tree), then for uniques compress →
@@ -812,9 +828,11 @@ func (e *Engine) flushGPUCompress() error {
 		results = append(results, lz.SubBlockResult{})
 	}
 	e.subResults = results
+	gpuCompressStart := metrics.Clock()
 	e.pool.Map(len(pend), func(i int) {
 		results[i] = lz.CompressSubBlocks(pend[i].data, e.cfg.Sub)
 	})
+	metrics.StageCompress.ObserveSince(gpuCompressStart)
 	perLane := e.perLane[:0]
 	rawBytes := 0
 	for _, res := range results {
@@ -862,9 +880,11 @@ func (e *Engine) flushGPUCompress() error {
 		errs = append(errs, nil)
 	}
 	e.subErrs = errs
+	postStart := metrics.Clock()
 	e.pool.Map(len(pend), func(i int) {
 		blobs[i], _, errs[i] = lz.PostProcessOrRaw(e.blobBufs.Get(len(pend[i].data)+blobHeadroom), pend[i].data, results[i])
 	})
+	metrics.StageCompress.ObserveSince(postStart)
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -898,9 +918,11 @@ func (e *Engine) fallbackCPUCompress(pend []gpuPending, at time.Duration) error 
 	cost := e.cpu.Cost
 	blobs := make([][]byte, len(pend))
 	stats := make([]lz.Stats, len(pend))
+	fbStart := metrics.Clock()
 	e.pool.Map(len(pend), func(i int) {
 		blobs[i], stats[i] = lz.CompressCodec(e.cfg.Codec, e.blobBufs.Get(len(pend[i].data)+blobHeadroom), pend[i].data, e.cfg.LZ)
 	})
+	metrics.StageCompress.ObserveSince(fbStart)
 	for i, p := range pend {
 		base := cost.CompressCycles(stats[i].Positions, stats[i].SearchSteps, stats[i].DstBytes) + cost.StageOverheadCycles
 		e.rep.Stages.Compression += e.seconds(base)
@@ -1059,6 +1081,8 @@ func (e *Engine) journalFlush(at time.Duration, f *dedup.Flush) {
 	if e.journal == nil || e.journalDead {
 		return
 	}
+	flushStart := metrics.Clock()
+	defer metrics.StageJournalCore.ObserveSince(flushStart)
 	if frac, torn := e.faults.TornFraction(); torn {
 		e.journal.AppendTorn(f, frac)
 		e.rep.Faults.JournalTornRecords++

@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"expvar"
+	"sync"
+)
+
+// The expvar export mirrors the Prometheus exposition for consumers that
+// already scrape /debug/vars: one "inlinered_metrics" Func var whose JSON
+// value maps "family{labels}" to the exported (scaled) value — counters
+// and gauges as numbers, histograms as {count, sum, mean, max} digests.
+
+var expvarOnce sync.Once
+
+// publishExpvarOnce registers the expvar export. Called from Enable;
+// expvar panics on duplicate names, so this must run at most once.
+func publishExpvarOnce() {
+	expvarOnce.Do(func() {
+		expvar.Publish("inlinered_metrics", expvar.Func(func() any {
+			return expvarSnapshot()
+		}))
+	})
+}
+
+// expvarSnapshot builds the JSON-ready view of every registered metric.
+func expvarSnapshot() map[string]any {
+	out := make(map[string]any)
+	for _, f := range familiesSnapshot() {
+		for _, s := range f.series {
+			key := f.name + s.labels
+			switch {
+			case s.c != nil:
+				out[key] = float64(s.c.Value()) * f.scale
+			case s.g != nil:
+				out[key] = float64(s.g.Value()) * f.scale
+			case s.h != nil:
+				_, n, sum, _, max := s.h.snapshot()
+				mean := 0.0
+				if n > 0 {
+					mean = float64(sum) / float64(n) * f.scale
+				}
+				out[key] = map[string]any{
+					"count": n,
+					"sum":   float64(sum) * f.scale,
+					"mean":  mean,
+					"max":   float64(max) * f.scale,
+				}
+			}
+		}
+	}
+	return out
+}

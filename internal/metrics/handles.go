@@ -1,0 +1,75 @@
+package metrics
+
+// The handle table: every instrumentation point in the data plane holds
+// one of these package-level handles, so a hot-path record is one atomic
+// op with no lookup. Centralizing the table also fixes the registration
+// (and therefore exposition) order, and lets the summary helpers below
+// read any metric without import cycles.
+//
+// Naming follows Prometheus conventions: base units (seconds), _total
+// suffix on counters, and a shared inlinered_stage_wall_seconds histogram
+// family keyed by (subsystem, stage) so one query surfaces the whole
+// pipeline's wall-clock breakdown.
+
+// stageHist registers one (subsystem, stage) series of the shared
+// per-stage wall-clock histogram family.
+func stageHist(subsystem, stage string) *Histogram {
+	return NewSecondsHistogram("inlinered_stage_wall_seconds",
+		"Wall-clock time per pipeline stage execution, keyed by (subsystem, stage).",
+		"subsystem", subsystem, "stage", stage)
+}
+
+var (
+	// Worker pool (internal/parallel): where the fan-out's host time goes.
+	PoolMapCalls = NewCounter("inlinered_pool_map_calls_total",
+		"Map fan-out calls on the persistent worker pool.",
+		"subsystem", "parallel")
+	PoolItems = NewCounter("inlinered_pool_items_total",
+		"Work items distributed across pool workers by Map calls.",
+		"subsystem", "parallel")
+	PoolBusy = NewSecondsCounter("inlinered_pool_worker_busy_seconds_total",
+		"Wall-clock time pool participants (workers and the calling goroutine) spent executing claimed batches.",
+		"subsystem", "parallel")
+	PoolIdle = NewSecondsCounter("inlinered_pool_worker_idle_seconds_total",
+		"Wall-clock time woken pool workers spent parked between batch executions.",
+		"subsystem", "parallel")
+	PoolClaimWait = NewSecondsHistogram("inlinered_pool_batch_claim_wait_seconds",
+		"Latency from a Map publishing its job to each woken worker claiming its first batch.",
+		"subsystem", "parallel")
+	PoolBatchSize = NewValueHistogram("inlinered_pool_batch_size_items",
+		"Distribution of contiguous index-batch sizes claimed off the shared counter.",
+		"subsystem", "parallel")
+
+	// Core pipeline stages (internal/core): wall clock per batch-level
+	// stage execution of the inline reduction pipeline.
+	StageChunk       = stageHist("core", "chunk")
+	StageHash        = stageHist("core", "hash")
+	StageDedupDecide = stageHist("core", "dedup_decide")
+	StageCompress    = stageHist("core", "compress")
+	StageCommit      = stageHist("core", "commit")
+	StageJournalCore = stageHist("core", "journal_flush")
+
+	// Sharded serving front-end (internal/serve).
+	ServeDispatch   = stageHist("serve", "dispatch")
+	ServeQueueWait  = stageHist("serve", "queue_wait")
+	ServeShardDrain = stageHist("serve", "shard_drain")
+
+	// Replicated cluster tier (internal/cluster).
+	ClusterNodeServe = stageHist("cluster", "node_serve")
+	ClusterReplay    = stageHist("cluster", "rejoin_replay")
+
+	// Volume (internal/volume).
+	VolumeJournalFlush = stageHist("volume", "journal_flush")
+
+	// Go runtime telemetry, refreshed by SampleRuntime.
+	RuntimeGoroutines = NewGauge("go_goroutines",
+		"Live goroutines, from /sched/goroutines.")
+	RuntimeHeapBytes = NewGauge("go_memory_heap_objects_bytes",
+		"Bytes occupied by live and dead heap objects, from /memory/classes/heap/objects.")
+	RuntimeHeapAllocBytes = NewGauge("go_memory_heap_allocs_bytes_total",
+		"Cumulative bytes allocated on the heap, from /gc/heap/allocs.")
+	RuntimeGCCycles = NewGauge("go_gc_cycles",
+		"Completed GC cycles, from /gc/cycles/total.")
+	RuntimeGCPause = NewSecondsGauge("go_gc_pause_estimate_seconds",
+		"Estimated total stop-the-world GC pause time (log-bucket midpoint sum over /sched/pauses/total/gc).")
+)

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// StartSnapshotter enables metrics, writes an immediate exposition
+// snapshot to path (validating the path is writable up front), and — when
+// interval > 0 — keeps rewriting it every interval until stop is called.
+// Every write refreshes the runtime telemetry first. The returned stop
+// writes one final snapshot and reports its error; it is idempotent.
+func StartSnapshotter(path string, interval time.Duration) (stop func() error, err error) {
+	Enable()
+	write := func() error {
+		SampleRuntime()
+		return WriteFile(path)
+	}
+	if err := write(); err != nil {
+		return nil, fmt.Errorf("metrics: writing snapshot: %w", err)
+	}
+	if interval <= 0 {
+		return write, nil
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				// A failed periodic write (disk full, path removed) is not
+				// worth killing the run for; the final write reports it.
+				_ = write()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() error {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+		return write()
+	}, nil
+}
+
+// SummaryLine refreshes the runtime telemetry and renders the one-line
+// wall-clock utilization digest surfaced by examples/fileserver and
+// BenchmarkServeWallClock: pool busy share, shard-drain time, and the GC
+// pause estimate. It reads whatever has been recorded so far — with
+// metrics disabled everything reads zero.
+func SummaryLine() string {
+	SampleRuntime()
+	busy := PoolBusy.Value()
+	idle := PoolIdle.Value()
+	util := "n/a"
+	if busy+idle > 0 {
+		util = fmt.Sprintf("%.1f%%", 100*float64(busy)/float64(busy+idle))
+	}
+	return fmt.Sprintf("wall-clock: pool busy %s (%v busy / %v idle), shard drain %v, GC pause ~%v",
+		util,
+		time.Duration(busy).Round(time.Millisecond),
+		time.Duration(idle).Round(time.Millisecond),
+		time.Duration(ServeShardDrain.Sum()).Round(time.Millisecond),
+		time.Duration(RuntimeGCPause.Value()).Round(100*time.Microsecond))
+}

@@ -22,6 +22,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"inlinered/internal/metrics"
 )
 
 // grainShards is how many claimable batches each worker's fair share is
@@ -45,6 +47,7 @@ type Pool struct {
 	fn    func(int)
 	n     int
 	grain int
+	pubNS int64        // metrics.Clock() at publish time, -1 when metrics are off
 	next  atomic.Int64 // next unclaimed index
 	out   atomic.Int64 // woken workers that have not yet checked out
 
@@ -70,9 +73,32 @@ func (p *Pool) launch() {
 		p.wake = make(chan struct{}, p.workers)
 		p.done = make(chan struct{}, 1)
 		for w := 0; w < p.workers-1; w++ {
+			// Counter slot w+1; the calling goroutine records on slot 0.
+			slot := w + 1
 			go func() {
+				// End of this worker's previous busy window, or -1 when
+				// metrics were off then. Idle time is measured from there to
+				// the next wake-up this worker services.
+				idleFrom := int64(-1)
 				for range p.wake {
+					start := int64(-1)
+					if p.pubNS >= 0 {
+						start = metrics.Clock()
+					}
+					if start >= 0 {
+						metrics.PoolClaimWait.Observe(start - p.pubNS)
+						if idleFrom >= 0 {
+							metrics.PoolIdle.AddAt(slot, start-idleFrom)
+						}
+					}
 					p.run()
+					idleFrom = -1
+					if start >= 0 {
+						if end := metrics.Clock(); end >= 0 {
+							metrics.PoolBusy.AddAt(slot, end-start)
+							idleFrom = end
+						}
+					}
 					if p.out.Add(-1) == 0 {
 						p.done <- struct{}{}
 					}
@@ -85,6 +111,7 @@ func (p *Pool) launch() {
 // run claims contiguous index batches until the job's range is exhausted.
 func (p *Pool) run() {
 	fn, n, grain := p.fn, p.n, p.grain
+	record := p.pubNS >= 0
 	for {
 		lo := int(p.next.Add(int64(grain))) - grain
 		if lo >= n {
@@ -93,6 +120,9 @@ func (p *Pool) run() {
 		hi := lo + grain
 		if hi > n {
 			hi = n
+		}
+		if record {
+			metrics.PoolBatchSize.Observe(int64(hi - lo))
 		}
 		for i := lo; i < hi; i++ {
 			fn(i)
@@ -110,8 +140,14 @@ func (p *Pool) Map(n int, fn func(int)) {
 		return
 	}
 	if p.workers <= 1 || n == 1 {
+		start := metrics.Clock()
 		for i := 0; i < n; i++ {
 			fn(i)
+		}
+		if start >= 0 {
+			metrics.PoolMapCalls.Add(1)
+			metrics.PoolItems.Add(int64(n))
+			metrics.PoolBusy.AddSince(0, start)
 		}
 		return
 	}
@@ -126,7 +162,14 @@ func (p *Pool) Map(n int, fn func(int)) {
 	if max := (n+grain-1)/grain - 1; helpers > max {
 		helpers = max
 	}
-	p.fn, p.n, p.grain = fn, n, grain
+	// pubNS rides to the workers with the job fields: the wake channel's
+	// happens-before edge covers it, and a -1 (metrics off at publish)
+	// suppresses every clock read this Map would otherwise cause.
+	p.fn, p.n, p.grain, p.pubNS = fn, n, grain, metrics.Clock()
+	if p.pubNS >= 0 {
+		metrics.PoolMapCalls.Add(1)
+		metrics.PoolItems.Add(int64(n))
+	}
 	p.next.Store(0)
 	if helpers > 0 {
 		p.out.Store(int64(helpers))
@@ -135,6 +178,7 @@ func (p *Pool) Map(n int, fn func(int)) {
 		}
 	}
 	p.run()
+	metrics.PoolBusy.AddSince(0, p.pubNS)
 	if helpers > 0 {
 		// Wait for every woken worker to check out: the job fields above
 		// are reused by the next Map, and completion of all fn calls is

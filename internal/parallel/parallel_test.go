@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"inlinered/internal/metrics"
 )
 
 func TestMapCoversAllIndices(t *testing.T) {
@@ -68,6 +70,32 @@ func TestMapZeroAllocSteadyState(t *testing.T) {
 	allocs := testing.AllocsPerRun(100, func() { p.Map(256, fn) })
 	if allocs != 0 {
 		t.Fatalf("Map allocates %.1f objects/op steady-state, want 0", allocs)
+	}
+}
+
+// TestMapZeroAllocWithMetrics: enabling the wall-clock metrics layer must
+// not reintroduce allocations on the Map hot path — every record is a
+// plain atomic op on a pre-registered handle.
+func TestMapZeroAllocWithMetrics(t *testing.T) {
+	metrics.Enable()
+	defer metrics.Disable()
+	p := New(4)
+	defer p.Close()
+	var sink atomic.Int64
+	fn := func(i int) { sink.Add(int64(i)) }
+	p.Map(256, fn) // warm-up: launch workers
+	allocs := testing.AllocsPerRun(100, func() { p.Map(256, fn) })
+	if allocs != 0 {
+		t.Fatalf("Map with metrics on allocates %.1f objects/op steady-state, want 0", allocs)
+	}
+	if n, _ := metrics.SeriesValue("inlinered_pool_map_calls_total", "subsystem", "parallel"); n < 100 {
+		t.Fatalf("pool map calls = %d, want >= 100 recorded", n)
+	}
+	if busy := metrics.PoolBusy.Value(); busy <= 0 {
+		t.Fatalf("pool busy ns = %d, want > 0", busy)
+	}
+	if metrics.PoolBatchSize.N() == 0 {
+		t.Fatal("batch-size histogram recorded no samples")
 	}
 }
 

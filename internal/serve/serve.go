@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"inlinered/internal/metrics"
 	"inlinered/internal/obs"
 	"inlinered/internal/sim"
 	"inlinered/internal/volume"
@@ -384,6 +385,7 @@ func (a *Array) Serve(ops []workload.Op, opt RunOptions) (*Report, error) {
 
 	// Count-then-fill: validate every op and size each shard's queue, then
 	// carve exact-capacity queues out of one backing array.
+	dispatchStart := metrics.Clock()
 	for i, op := range ops {
 		switch op.Kind {
 		case workload.OpWrite, workload.OpRead, workload.OpTrim:
@@ -405,6 +407,10 @@ func (a *Array) Serve(ops []workload.Op, opt RunOptions) (*Report, error) {
 		op.LBA /= n // shard-local address
 		queues[s] = append(queues[s], op)
 	}
+	// Dispatch ends when every shard queue is filled; from here each
+	// queue's wall time until a worker claims it is queue wait.
+	readyNS := metrics.Clock()
+	metrics.ServeDispatch.ObserveSince(dispatchStart)
 
 	clients := opt.Clients
 	if clients <= 0 {
@@ -425,7 +431,10 @@ func (a *Array) Serve(ops []workload.Op, opt RunOptions) (*Report, error) {
 				if i >= len(a.shards) {
 					return
 				}
+				metrics.ServeQueueWait.ObserveSince(readyNS)
+				drainStart := metrics.Clock()
 				per[i] = a.serveShard(i, queues[i], opt, fill)
+				metrics.ServeShardDrain.ObserveSince(drainStart)
 			}
 		}()
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"time"
@@ -128,5 +129,72 @@ func TestHistogramSingleSample(t *testing.T) {
 	want := 42 * time.Microsecond
 	if s.Min != want || s.Max != want || s.Mean != want || s.P50 != want || s.P99 != want {
 		t.Fatalf("single-sample summary wrong: %+v", s)
+	}
+	// Out-of-range p clamps to the extremes rather than panicking.
+	if q := h.Quantile(-0.5); q != want {
+		t.Fatalf("Quantile(-0.5) = %v, want %v", q, want)
+	}
+	if q := h.Quantile(0); q != want {
+		t.Fatalf("Quantile(0) = %v, want %v", q, want)
+	}
+	if q := h.Quantile(1); q != want {
+		t.Fatalf("Quantile(1) = %v, want %v", q, want)
+	}
+	if q := h.Quantile(2); q != want {
+		t.Fatalf("Quantile(2) = %v, want %v", q, want)
+	}
+}
+
+// TestHistogramExtremeDurations checks the top bucket holds the largest
+// representable duration and the digest stays exact at the extremes.
+func TestHistogramExtremeDurations(t *testing.T) {
+	var h Histogram
+	huge := time.Duration(math.MaxInt64)
+	h.Observe(0)
+	h.Observe(huge)
+	s := h.Summary()
+	if s.Min != 0 || s.Max != huge || s.Count != 2 {
+		t.Fatalf("extreme summary wrong: %+v", s)
+	}
+	// P99 ranks to the top sample; the bucket upper bound saturates at
+	// MaxInt64 and then clamps to the observed max.
+	if s.P99 != huge {
+		t.Fatalf("P99 = %v, want MaxInt64", s.P99)
+	}
+	c := h.Counts()
+	if c[0] != 1 {
+		t.Fatalf("zero sample not in bucket 0: %v", c[0])
+	}
+	if c[histBuckets-1] != 1 {
+		t.Fatalf("MaxInt64 sample not in the top bucket")
+	}
+}
+
+// TestHistogramMergeDisjointShuffled merges shards whose sample ranges do
+// not overlap, in several shuffled orders, and checks min/max/digest all
+// land identically — the general form of the order-independence the
+// report merger relies on.
+func TestHistogramMergeDisjointShuffled(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	shards := make([]Histogram, 5)
+	var whole Histogram
+	for s := range shards {
+		base := time.Duration(s) * time.Millisecond
+		for i := 0; i < 100; i++ {
+			d := base + time.Duration(rng.Int63n(int64(time.Millisecond)))
+			shards[s].Observe(d)
+			whole.Observe(d)
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		order := rng.Perm(len(shards))
+		var m Histogram
+		for _, s := range order {
+			m.Merge(&shards[s])
+		}
+		if m != whole {
+			t.Fatalf("trial %d (order %v): merged digest diverges:\ngot  %+v\nwant %+v",
+				trial, order, m.Summary(), whole.Summary())
+		}
 	}
 }

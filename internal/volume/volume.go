@@ -27,6 +27,7 @@ import (
 	"inlinered/internal/dedup"
 	"inlinered/internal/fault"
 	"inlinered/internal/lz"
+	"inlinered/internal/metrics"
 	"inlinered/internal/obs"
 	"inlinered/internal/sim"
 	"inlinered/internal/ssd"
@@ -403,6 +404,8 @@ func (v *Volume) journalFlush(at time.Duration, f *dedup.Flush) time.Duration {
 	if v.journalDead {
 		return at
 	}
+	flushStart := metrics.Clock()
+	defer metrics.VolumeJournalFlush.ObserveSince(flushStart)
 	if frac, torn := v.faults.TornFraction(); torn {
 		v.journal.AppendTorn(f, frac)
 		end, _ := v.writeJournal(at, f.Bytes) // the partial write still happened

@@ -111,14 +111,24 @@ ratio() {
 # the plain name; other units get " - <unit>" appended, as the action's go
 # parser does), each value the geomean over the COUNT repetitions, plus
 # the headline ratios as synthetic "ratio: ..." benches with unit "x".
+# The entry carries a "host" envelope (CPU model, hardware threads,
+# GOMAXPROCS, arch, Go version) so cmd/benchdash can annotate trajectory
+# points where the recording machine changed; wall time is not comparable
+# across hosts. Older BENCH_*.json files lack the field and benchdash
+# tolerates that.
 write_json() {
-    local raw="$1" out n now commit cdate msg
+    local raw="$1" out n now commit cdate msg cpu threads goarch gover
     n="${BENCH_PR:-$(grep -c '^PR ' CHANGES.md 2>/dev/null || echo 0)}"
     out="${BENCH_OUT:-BENCH_${n}.json}"
     now="$(($(date -u +%s) * 1000))"
     commit="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
     cdate="$(git log -1 --format=%cI 2>/dev/null || date -u +%FT%TZ)"
     msg="$(git log -1 --format=%s 2>/dev/null | tr -d '"\\' | cut -c1-120 || true)"
+    cpu="$(awk -F': *' '/^model name/ { print $2; exit }' /proc/cpuinfo 2>/dev/null | tr -d '"\\' || true)"
+    [[ -n "$cpu" ]] || cpu="$(uname -m)"
+    threads="$(nproc 2>/dev/null || echo 1)"
+    goarch="$(go env GOARCH 2>/dev/null || echo unknown)"
+    gover="$(go env GOVERSION 2>/dev/null || echo unknown)"
     {
         printf '{\n'
         printf '  "lastUpdate": %s,\n' "$now"
@@ -130,6 +140,8 @@ write_json() {
             "$commit" "$msg" "$cdate"
         printf '        "date": %s,\n' "$now"
         printf '        "tool": "go",\n'
+        printf '        "host": {"cpu": "%s", "threads": %s, "gomaxprocs": %s, "goarch": "%s", "go": "%s"},\n' \
+            "$cpu" "$threads" "${GOMAXPROCS:-$threads}" "$goarch" "$gover"
         printf '        "benches": [\n'
         awk '
             /^Benchmark/ {
