@@ -204,6 +204,74 @@ func BenchmarkServeWallClock(b *testing.B) {
 	b.Log(metrics.SummaryLine())
 }
 
+// BenchmarkReadPathWallClock measures the real (host) cost of the VDI
+// boot-storm scenario through the batch read path: every desktop
+// re-reading the shared golden image at once. The read cache is disabled
+// so every read decodes its sub-block container, making the benchmark a
+// pure decode-throughput contest: /serial pins Parallelism to 1 (the
+// decode fan-out runs inline), /parallel spreads sub-block decodes across
+// the worker pool. The virtual-time report is bit-identical between the
+// two (see TestReadBatchDeterminism); only the wall clock differs — this
+// is the read-side benchmark scripts/bench-compare.sh guards.
+func BenchmarkReadPathWallClock(b *testing.B) {
+	spec := DefaultBootStormSpec()
+	spec.ImageBlocks = 2048
+	spec.UniqueBlocks = 2048
+	spec.ReadsPerClient = 512
+	if testing.Short() {
+		spec.ImageBlocks = 512
+		spec.UniqueBlocks = 512
+		spec.ReadsPerClient = 128
+	}
+	fill, err := spec.Fill()
+	if err != nil {
+		b.Fatal(err)
+	}
+	lbas, err := spec.Storm()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.NumCPU()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			arr, err := NewArray(BlockDeviceOptions{
+				Blocks:      spec.ImageBlocks,
+				Shards:      4,
+				SubBlocks:   4,
+				CacheBytes:  -1, // every storm read decodes
+				Parallelism: bc.par,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer arr.Close()
+			if _, err := arr.Serve(fill, ServeOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(lbas)) * 4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var rep *ReadBatchReport
+			for i := 0; i < b.N; i++ {
+				rep, err = arr.ReadBatch(lbas, ReadBatchOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Errors != 0 {
+					b.Fatalf("storm reads failed: %+v", rep)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(rep.DecodedParts)/float64(rep.DecodedBlobs), "parts/blob")
+		})
+	}
+}
+
 // BenchmarkE1PrelimIndexing — §3.1(3): CPU vs GPU indexing time; paper: CPU
 // 4.16–5.45× faster with a kernel-launch floor on the GPU side.
 func BenchmarkE1PrelimIndexing(b *testing.B) {

@@ -28,6 +28,15 @@ type BlockDeviceOptions struct {
 	// CacheBytes bounds the content-addressed read cache; 0 keeps the
 	// 16 MiB default, negative disables caching.
 	CacheBytes int64
+	// SubBlocks > 1 compresses each unique chunk as that many independent
+	// sub-blocks in an indexed container whose boundary table lets the
+	// batch read path decode them in parallel (see DESIGN.md "Parallel
+	// read path"). 0 or 1 keeps single-stream compression.
+	SubBlocks int
+	// Parallelism is the decode worker count for ReadBatch (0 or 1
+	// decodes inline). Wall clock only: reports and results are
+	// bit-identical for any value.
+	Parallelism int
 	// FaultRate enables deterministic fault injection on the device's
 	// drive, journal, and index (transient SSD errors, latency spikes, torn
 	// journal records, memory-pressure evictions), scheduled by FaultSeed.
@@ -84,12 +93,13 @@ func (opts BlockDeviceOptions) volumeConfig() volume.Config {
 	if opts.FaultRate > 0 {
 		cfg.Faults = fault.Config{Seed: opts.FaultSeed, Rates: fault.Uniform(opts.FaultRate)}
 	}
+	cfg.SubBlocks = opts.SubBlocks
 	return cfg
 }
 
 // serveConfig converts the options into the sharded front-end's config.
 func (opts BlockDeviceOptions) serveConfig() (serve.Config, error) {
-	sc := serve.Config{Volume: opts.volumeConfig(), Shards: opts.Shards}
+	sc := serve.Config{Volume: opts.volumeConfig(), Shards: opts.Shards, Parallelism: opts.Parallelism}
 	if opts.Recorder != nil {
 		if opts.Shards > 1 {
 			return serve.Config{}, fmt.Errorf(
@@ -109,6 +119,7 @@ func (opts BlockDeviceOptions) clusterConfig() cluster.Config {
 		Nodes:         opts.Nodes,
 		Replicas:      opts.Replicas,
 		ShardsPerNode: opts.Shards,
+		Parallelism:   opts.Parallelism,
 		Obs:           opts.Recorder,
 	}
 	if opts.NodeFaultRate > 0 {
@@ -186,3 +197,29 @@ func (d *BlockDevice) Shards() int { return d.inner.Shards() }
 // Now returns the device's virtual clock: the slowest shard's completion
 // time.
 func (d *BlockDevice) Now() time.Duration { return d.inner.Now() }
+
+// ReadBatchOptions tune a batch read run (wall clock only — nothing here
+// may affect the report or the returned bytes).
+type ReadBatchOptions = serve.ReadBatchOptions
+
+// ReadBatchReport summarizes a BlockDevice.ReadBatch run under the
+// "inlinered/serve-readbatch-report/v1" JSON schema. It excludes client
+// counts, decode parallelism, and wall clocks: runs differing only in
+// scheduling encode to identical bytes.
+type ReadBatchReport = serve.ReadBatchReport
+
+// ReadBatch executes a batch of reads through the parallel read path:
+// a sequential per-shard decision phase (cache, SSD, and virtual-clock
+// accounting in request order), one parallel decode fan-out over the
+// device's worker pool (Options.Parallelism), and a sequential commit.
+// Results stream through opts.Sink; the report is bit-identical to issuing
+// the reads serially, for any parallelism or client count.
+func (d *BlockDevice) ReadBatch(lbas []int64, opts ReadBatchOptions) (*ReadBatchReport, error) {
+	return d.inner.ReadBatch(lbas, opts)
+}
+
+// Close releases the device's decode worker pool (created on first
+// ReadBatch when Options.Parallelism > 1). Idempotent; the device stays
+// usable and a later ReadBatch recreates the pool. Devices that never use
+// ReadBatch need not call Close.
+func (d *BlockDevice) Close() { d.inner.Close() }

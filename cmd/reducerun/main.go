@@ -14,6 +14,9 @@
 //	          [-dedup R] [-seed N] [-faults SEED:RATE] [-json]
 //	reducerun -nodes N [-replicas R] [-node-faults SEED:RATE] [-shards S]
 //	          [-clients C] [-serve-ops N] [-blocks N] [-json]
+//	reducerun -boot-storm [-shards N | -nodes N [-replicas R]]
+//	          [-storm-clients C] [-sub-blocks K] [-par P] [-clients C]
+//	          [-seed N] [-json]
 //
 // With -mode auto, the dummy-I/O calibration pass of §4(3) picks the
 // fastest integration option for the platform first.
@@ -43,6 +46,14 @@
 // replica divergence, ridden out by fallback reads, rejoin replay, and
 // read-repair; the run ends with a full-range scrub. The report stays
 // bit-identical for any -clients and GOMAXPROCS at fixed seeds.
+//
+// -boot-storm runs the VDI boot-storm scenario through the parallel batch
+// read path instead of a closed-loop mix: -storm-clients desktops install
+// one golden image (heavy dedup), then all of them re-read it at once.
+// Unique chunks compress as -sub-blocks independent sub-blocks so the
+// batch decode fans each blob out across -par workers; -clients drains
+// shard (or node) queues. Both knobs are wall clock only — the batch
+// report is bit-identical for any -par, -clients, and GOMAXPROCS.
 package main
 
 import (
@@ -82,6 +93,9 @@ func main() {
 	replicas := flag.Int("replicas", 1, "cluster replication factor with -nodes (<= nodes)")
 	nodeFaults := flag.String("node-faults", "", "node-level fault injection with -nodes as SEED:RATE (crashes + replica divergence); empty disables")
 	clients := flag.Int("clients", 0, "concurrent serving workers with -shards (0 = one per shard; report is identical for any value)")
+	bootStorm := flag.Bool("boot-storm", false, "run the VDI boot-storm batch-read scenario instead of a closed-loop mix")
+	stormClients := flag.Int("storm-clients", 0, "booting desktops with -boot-storm (0 = the default 32)")
+	subBlocks := flag.Int("sub-blocks", 4, "independent sub-blocks per unique chunk with -boot-storm (parallel-decode fan-out width)")
 	serveOps := flag.Int("serve-ops", 20000, "closed-loop operations with -shards")
 	blocks := flag.Int64("blocks", 16384, "LBA space in blocks with -shards")
 	jsonOut := flag.Bool("json", false, "print the report as JSON on stdout (status goes to stderr)")
@@ -129,6 +143,11 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	if *bootStorm {
+		runBootStorm(*nodes, *replicas, *shards, *clients, *stormClients, *subBlocks,
+			*par, *blocks, *seed, *jsonOut, info)
+		return
+	}
 	if *nodes > 0 {
 		nodeSeed, nodeRate, err := parseSeedRate("-node-faults", *nodeFaults)
 		if err != nil {
@@ -298,6 +317,79 @@ func runServe(shards, clients, ops int, blocks int64, dedup float64, seed, fault
 		os.Stdout.Write(out)
 	} else {
 		fmt.Println(rep)
+	}
+}
+
+// runBootStorm installs the golden image, then replays the interleaved
+// per-client read storm through the parallel batch read path — on a
+// sharded array by default, or across a replicated cluster with -nodes.
+func runBootStorm(nodes, replicas, shards, clients, stormClients, subBlocks, par int,
+	blocks int64, seed int64, jsonOut bool, info *os.File) {
+	spec := inlinered.DefaultBootStormSpec()
+	if stormClients > 0 {
+		spec.Clients = stormClients
+	}
+	spec.Seed = seed
+	fill, err := spec.Fill()
+	if err != nil {
+		fatal(err)
+	}
+	lbas, err := spec.Storm()
+	if err != nil {
+		fatal(err)
+	}
+	opts := inlinered.BlockDeviceOptions{
+		Blocks:      blocks,
+		Shards:      shards,
+		SubBlocks:   subBlocks,
+		Parallelism: par,
+	}
+	fmt.Fprintf(info, "boot storm: %d clients x %d reads over a %d-block golden image (sub-blocks %d, decode workers %d)\n\n",
+		spec.Clients, spec.ReadsPerClient, spec.ImageBlocks, subBlocks, par)
+
+	var out []byte
+	var summary string
+	if nodes > 0 {
+		opts.Nodes = nodes
+		opts.Replicas = replicas
+		cl, err := inlinered.NewCluster(opts)
+		if err != nil {
+			fatal(err)
+		}
+		defer cl.Close()
+		if _, err := cl.Serve(fill, inlinered.ClusterServeOptions{ContentSeed: seed}); err != nil {
+			fatal(err)
+		}
+		rep, err := cl.ReadBatch(lbas, inlinered.ClusterReadBatchOptions{Clients: clients})
+		if err != nil {
+			fatal(err)
+		}
+		if out, err = rep.JSON(); err != nil {
+			fatal(err)
+		}
+		summary = rep.String()
+	} else {
+		arr, err := inlinered.NewArray(opts)
+		if err != nil {
+			fatal(err)
+		}
+		defer arr.Close()
+		if _, err := arr.Serve(fill, inlinered.ServeOptions{ContentSeed: seed}); err != nil {
+			fatal(err)
+		}
+		rep, err := arr.ReadBatch(lbas, inlinered.ReadBatchOptions{Clients: clients})
+		if err != nil {
+			fatal(err)
+		}
+		if out, err = rep.JSON(); err != nil {
+			fatal(err)
+		}
+		summary = rep.String()
+	}
+	if jsonOut {
+		os.Stdout.Write(out)
+	} else {
+		fmt.Println(summary)
 	}
 }
 

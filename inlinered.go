@@ -230,6 +230,20 @@ func ReadMostlyOps(ops int, blocks, seed int64) OpsSpec {
 	return workload.ReadMostlySpec(ops, blocks, seed)
 }
 
+// BootStormSpec parameterizes the VDI boot-storm workload: many desktop
+// clients reading the same golden image at once. Fill() yields the writes
+// that install the image (heavily deduplicating, like cloned VM images);
+// Storm() yields the interleaved per-client read stream for ReadBatch.
+type BootStormSpec = workload.BootStormSpec
+
+// DefaultBootStormSpec returns the stock boot-storm shape: 32 clients
+// re-reading a 256-block golden image with jittered start offsets.
+func DefaultBootStormSpec() BootStormSpec { return workload.DefaultBootStormSpec() }
+
+// ReadOps extracts the read LBAs from a closed-loop op list, in order —
+// the bridge from NewOps/ReadMostlyOps output to ReadBatch input.
+func ReadOps(ops []Op) []int64 { return serve.ReadOps(ops) }
+
 // ServeOptions tune an Array.Serve run. Only Clients affects the wall
 // clock; the report is bit-identical for any client count.
 type ServeOptions = serve.RunOptions
@@ -305,6 +319,20 @@ func (a *Array) Stats() DeviceStats { return a.inner.Stats() }
 
 // ShardStats returns each shard's stats in shard order.
 func (a *Array) ShardStats() []DeviceStats { return a.inner.ShardStats() }
+
+// ReadBatch executes a batch of reads through the parallel read path:
+// sequential per-shard decision phase, one decode fan-out over the array's
+// worker pool (Options.Parallelism), sequential commit. The report is
+// bit-identical to issuing the reads serially, for any parallelism or
+// client count.
+func (a *Array) ReadBatch(lbas []int64, opts ReadBatchOptions) (*ReadBatchReport, error) {
+	return a.inner.ReadBatch(lbas, opts)
+}
+
+// Close releases the array's decode worker pool (created on first
+// ReadBatch when Options.Parallelism > 1). Idempotent; the array stays
+// usable.
+func (a *Array) Close() { a.inner.Close() }
 
 // ClusterServeOptions tune a Cluster.Serve run. Only Clients affects the
 // wall clock; the report is bit-identical for any client count.
@@ -394,6 +422,28 @@ func (c *Cluster) Stats() DeviceStats { return c.inner.Stats() }
 
 // NodeStats returns each node's merged stats in node order.
 func (c *Cluster) NodeStats() []DeviceStats { return c.inner.NodeStats() }
+
+// ClusterReadBatchOptions tune a Cluster.ReadBatch run (wall clock only —
+// nothing here may affect the report or the returned bytes).
+type ClusterReadBatchOptions = cluster.ReadBatchOptions
+
+// ClusterReadBatchReport summarizes a Cluster.ReadBatch run under the
+// "inlinered/cluster-readbatch-report/v1" JSON schema. Like the serve-tier
+// report it excludes client counts, decode parallelism, and wall clocks.
+type ClusterReadBatchReport = cluster.ReadBatchReport
+
+// ReadBatch executes a batch of reads across the cluster's healthy-cluster
+// fast path: sequential routing to each read's first non-stale replica,
+// then per-node batch reads through the parallel read path (plan, decode
+// fan-out, commit). The report is bit-identical to any other scheduling of
+// the same batch.
+func (c *Cluster) ReadBatch(lbas []int64, opts ClusterReadBatchOptions) (*ClusterReadBatchReport, error) {
+	return c.inner.ReadBatch(lbas, opts)
+}
+
+// Close releases every node's decode worker pool. Idempotent; the cluster
+// stays usable and a later ReadBatch recreates the pools.
+func (c *Cluster) Close() { c.inner.Close() }
 
 // StreamSpec describes a synthetic workload stream (the vdbench stand-in):
 // both knobs the paper's evaluation uses, calibrated against this

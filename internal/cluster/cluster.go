@@ -75,6 +75,10 @@ type Config struct {
 	Replicas int
 	// ShardsPerNode is each node's serve.Array shard count (0 means 1).
 	ShardsPerNode int
+	// Parallelism is each node array's decode worker count for the batch
+	// read path (see serve.Config.Parallelism). Wall clock only — reports
+	// are bit-identical for any value.
+	Parallelism int
 	// RangeBlocks is the placement granularity: consecutive runs of this
 	// many LBAs share an owner set (0 means 64).
 	RangeBlocks int64
@@ -193,7 +197,7 @@ func New(cfg Config) (*Cluster, error) {
 // newNode builds node id's array: the full cluster config with the device
 // fault seed offset per node so each node injects from its own streams.
 func (c *Cluster) newNode(id int) (*node, error) {
-	sc := serve.Config{Volume: c.cfg.Volume, Shards: c.cfg.ShardsPerNode}
+	sc := serve.Config{Volume: c.cfg.Volume, Shards: c.cfg.ShardsPerNode, Parallelism: c.cfg.Parallelism}
 	sc.Volume.Faults.Seed += int64(id) * nodeSeedStride
 	arr, err := serve.New(sc)
 	if err != nil {

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inlinered/internal/serve"
+)
+
+// ReadBatchOptions tune a cluster batch read. Nothing here may affect the
+// report.
+type ReadBatchOptions struct {
+	// Clients is the number of worker goroutines draining node batches
+	// (0 means one per node). Wall clock only.
+	Clients int
+	// Sink receives every read's result during commit, keyed by the
+	// read's position in the batch. Called concurrently; block aliases
+	// internal buffers and is valid only for the duration of the call.
+	Sink func(i int, block []byte, err error)
+}
+
+// NodeReadReport is one node's slice of a cluster batch read.
+type NodeReadReport struct {
+	Reads        int           `json:"reads"`
+	Errors       int64         `json:"errors"`
+	DecodedBlobs int64         `json:"decoded_blobs"`
+	DecodedParts int64         `json:"decoded_parts"`
+	Elapsed      time.Duration `json:"elapsed_ns"`
+}
+
+// ReadBatchReport summarizes one Cluster.ReadBatch run. Like the batch
+// Serve report it excludes client counts, decode parallelism, and wall
+// clocks: runs differing only in scheduling encode to identical bytes.
+type ReadBatchReport struct {
+	Nodes        int              `json:"nodes"`
+	Reads        int              `json:"reads"`
+	Errors       int64            `json:"errors"`
+	Fallbacks    int64            `json:"fallbacks"` // reads served off-primary (stale primary copy)
+	DecodedBlobs int64            `json:"decoded_blobs"`
+	DecodedParts int64            `json:"decoded_parts"`
+	Elapsed      time.Duration    `json:"elapsed_ns"` // slowest node's virtual elapsed time
+	PerNode      []NodeReadReport `json:"per_node"`
+}
+
+// ReadBatchReportSchema versions the cluster batch-read report envelope.
+const ReadBatchReportSchema = "inlinered/cluster-readbatch-report/v1"
+
+// JSON encodes the report as stable, indented JSON with a schema envelope.
+func (r *ReadBatchReport) JSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	env := struct {
+		Schema string           `json:"schema"`
+		Report *ReadBatchReport `json:"report"`
+	}{ReadBatchReportSchema, r}
+	if err := enc.Encode(env); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// String renders a one-look summary.
+func (r *ReadBatchReport) String() string {
+	return fmt.Sprintf(
+		"nodes=%d reads=%d errors=%d fallbacks=%d decoded blobs=%d parts=%d elapsed=%v",
+		r.Nodes, r.Reads, r.Errors, r.Fallbacks, r.DecodedBlobs, r.DecodedParts,
+		r.Elapsed.Round(time.Microsecond))
+}
+
+// Close releases every node array's decode worker pool (see
+// serve.Array.Close). Idempotent; the cluster stays usable.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	nodes := c.nodes
+	c.mu.Unlock()
+	for _, n := range nodes {
+		n.arr.Close()
+	}
+}
+
+// ReadBatch executes a batch of reads across the cluster: a sequential
+// routing phase sends each read to its first non-stale replica (primary
+// unless a diverged copy is known there), then workers drain whole
+// per-node queues through serve.Array.ReadBatch — the three-stage
+// plan/decode/commit split one level down.
+//
+// ReadBatch is the healthy-cluster fast path (the VDI boot storm: every
+// desktop reading the golden image at once). Unlike batch Serve it
+// consults no fault stream and performs no repairs — known-stale copies
+// are routed around, not rewritten, and membership does not change
+// mid-batch. Routing is sequential and each node's batch is deterministic,
+// so the report is bit-identical for any Clients, Parallelism, or
+// GOMAXPROCS.
+func (c *Cluster) ReadBatch(lbas []int64, opt ReadBatchOptions) (*ReadBatchReport, error) {
+	c.mu.Lock()
+	for i, lba := range lbas {
+		if lba < 0 || lba >= c.blocks {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("cluster: read %d: lba %d outside [0,%d)", i, lba, c.blocks)
+		}
+	}
+	nodes := c.nodes
+	queues := make([][]int64, len(nodes))
+	pos := make([][]int, len(nodes))
+	var fallbacks int64
+	for i, lba := range lbas {
+		owners := c.owners(lba)
+		from := owners[0]
+		for _, n := range owners {
+			if !c.stale[stKey{n, lba}] {
+				from = n
+				break
+			}
+		}
+		if from != owners[0] {
+			fallbacks++
+		}
+		queues[from] = append(queues[from], lba)
+		pos[from] = append(pos[from], i)
+	}
+	c.mu.Unlock()
+
+	clients := opt.Clients
+	if clients <= 0 {
+		clients = len(nodes)
+	}
+	per := make([]NodeReadReport, len(nodes))
+	reps := make([]*serve.ReadBatchReport, len(nodes))
+	var firstErr atomic.Value
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= len(nodes) {
+					return
+				}
+				if len(queues[n]) == 0 {
+					continue
+				}
+				var sink func(k int, block []byte, err error)
+				if opt.Sink != nil {
+					p := pos[n]
+					outer := opt.Sink
+					sink = func(k int, block []byte, err error) { outer(p[k], block, err) }
+				}
+				rep, err := nodes[n].arr.ReadBatch(queues[n], serve.ReadBatchOptions{Sink: sink})
+				if err != nil {
+					firstErr.Store(err)
+					return
+				}
+				reps[n] = rep
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, err
+	}
+
+	out := &ReadBatchReport{Nodes: len(nodes), Reads: len(lbas), Fallbacks: fallbacks, PerNode: per}
+	for n, rep := range reps {
+		if rep == nil {
+			continue
+		}
+		per[n] = NodeReadReport{
+			Reads:        rep.Reads,
+			Errors:       rep.Errors,
+			DecodedBlobs: rep.DecodedBlobs,
+			DecodedParts: rep.DecodedParts,
+			Elapsed:      rep.Elapsed,
+		}
+		out.Errors += rep.Errors
+		out.DecodedBlobs += rep.DecodedBlobs
+		out.DecodedParts += rep.DecodedParts
+		if rep.Elapsed > out.Elapsed {
+			out.Elapsed = rep.Elapsed
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package gpu
+
+import (
+	"fmt"
+
+	"inlinered/internal/lz"
+)
+
+// DecompressKernel is the read-side mirror of the sub-block compression
+// kernel: a batch of mode-4 indexed containers decoded in the two-dispatch
+// shape massively-parallel decompressors use (Sitaridi et al., GPULZ).
+//
+// Dispatch 1 (boundary resolution) runs one lane per blob: each lane walks
+// only the boundary/length table PostProcess wrote — never a token — and
+// resolves where every sub-block's tokens start and where its output
+// lands. Dispatch 2 (decode) runs one lane per sub-block: lanes decode
+// their token streams independently into disjoint output ranges. Matches
+// reaching into the overlap history another lane owns are deferred; the
+// patch-up is the host's post-processing job (the same CPU refinement role
+// PostProcess plays on the write side) and is executed here after the
+// lanes finish, uncharged to the device.
+//
+// Results are real: Outs holds the exact decoded bytes. The profile charges
+// the real per-lane work (table entries walked, tokens decoded, bytes
+// produced) folded through the lockstep wavefront rule, so a batch with one
+// pathological sub-block pays divergence exactly as hardware would.
+type DecompressKernel struct {
+	Blobs     [][]byte // compressed mode-4 (or raw) blobs, device-resident
+	Outs      [][]byte // per-blob output buffers, sized by the caller
+	Cost      CostModel
+	Wavefront int // lanes per wavefront (Config.WavefrontSize)
+
+	// Outputs, valid after Run.
+	SubParts int   // decode lanes launched in dispatch 2
+	Err      error // first decode error (corrupt blob); profile still valid
+}
+
+// Name implements Kernel.
+func (k *DecompressKernel) Name() string { return "decompress" }
+
+// Run implements Kernel: both dispatches execute functionally, and their
+// lockstep-folded profiles are summed (the command queue runs them
+// back-to-back; Launch charges one dispatch overhead, which slightly
+// favours the GPU — the cost model's decode constants absorb it).
+func (k *DecompressKernel) Run() Profile {
+	w := k.Wavefront
+	if w < 1 {
+		w = 1
+	}
+	resolveCycles := make([]float64, 0, len(k.Blobs))
+	var decodeCycles []float64
+
+	type partJob struct {
+		blob int
+		part int
+	}
+	layouts := make([]lz.SubLayout, len(k.Blobs))
+	indexed := make([]bool, len(k.Blobs))
+	var jobs []partJob
+
+	// Dispatch 1: one lane per blob resolves the boundary table.
+	for i, blob := range k.Blobs {
+		ok, err := lz.ResolveSubBlocks(&layouts[i], blob)
+		if err != nil {
+			k.setErr(fmt.Errorf("gpu: blob %d: %w", i, err))
+			continue
+		}
+		indexed[i] = ok
+		cycles := k.Cost.DecodeBaseCycles
+		if ok {
+			cycles += float64(len(layouts[i].Parts)) * k.Cost.DecodeCyclesPerToken
+			for p := range layouts[i].Parts {
+				jobs = append(jobs, partJob{blob: i, part: p})
+			}
+		}
+		resolveCycles = append(resolveCycles, cycles)
+	}
+
+	// Dispatch 2: one lane per sub-block decodes its token span.
+	deferred := make([][]lz.DeferredCopy, len(k.Blobs))
+	for _, j := range jobs {
+		lay := &layouts[j.blob]
+		var tokens int
+		var err error
+		deferred[j.blob], tokens, err = lz.DecodeSubPart(k.Outs[j.blob], lay, j.part, deferred[j.blob])
+		if err != nil {
+			k.setErr(fmt.Errorf("gpu: blob %d: %w", j.blob, err))
+		}
+		decodeCycles = append(decodeCycles,
+			k.Cost.DecodeBaseCycles+
+				float64(tokens)*k.Cost.DecodeCyclesPerToken+
+				float64(lay.Parts[j.part].OutLen)*k.Cost.DecodeCyclesPerByte)
+	}
+	k.SubParts = len(jobs)
+
+	// Non-indexed blobs (raw stores, legacy containers) decode whole-blob
+	// on their resolve lane's follow-up; charged per output byte since no
+	// token count is available from the serial decoder.
+	for i, blob := range k.Blobs {
+		if indexed[i] || len(blob) == 0 {
+			continue
+		}
+		out, err := lz.Decompress(k.Outs[i][:0], blob)
+		if err != nil {
+			k.setErr(fmt.Errorf("gpu: blob %d: %w", i, err))
+			continue
+		}
+		if len(out) != len(k.Outs[i]) {
+			k.setErr(fmt.Errorf("gpu: blob %d: decoded %d bytes into a %d-byte buffer", i, len(out), len(k.Outs[i])))
+			continue
+		}
+		copy(k.Outs[i], out)
+		decodeCycles = append(decodeCycles,
+			k.Cost.DecodeBaseCycles+float64(len(out))*2*k.Cost.DecodeCyclesPerByte)
+	}
+
+	// Host post-process: patch in the cross-lane overlap copies, then the
+	// strict whole-blob check mirrors the serial decoder's.
+	var local int64
+	for i := range k.Blobs {
+		if indexed[i] {
+			lz.ResolveDeferred(k.Outs[i], deferred[i])
+		}
+		local += int64(len(k.Outs[i]))
+	}
+
+	p := Wavefronts(resolveCycles, w)
+	d := Wavefronts(decodeCycles, w)
+	p.Items += d.Items
+	p.Waves += d.Waves
+	p.SumWaveCycles += d.SumWaveCycles
+	p.LaneCycles += d.LaneCycles
+	if d.MaxWaveCycles > p.MaxWaveCycles {
+		p.MaxWaveCycles = d.MaxWaveCycles
+	}
+	p.LocalBytes = local
+	return p
+}
+
+func (k *DecompressKernel) setErr(err error) {
+	if k.Err == nil {
+		k.Err = err
+	}
+}

@@ -1,0 +1,96 @@
+package gpu
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"inlinered/internal/lz"
+)
+
+func decompressCorpus() [][]byte {
+	rng := rand.New(rand.NewSource(23))
+	random := make([]byte, 4096)
+	rng.Read(random)
+	text := bytes.Repeat([]byte("vdi boot storm reads the golden image again and again. "), 80)[:4096]
+	mixed := append(append([]byte{}, random[:2048]...), make([]byte, 2048)...)
+	return [][]byte{random, text, mixed, make([]byte, 4096), []byte("tiny")}
+}
+
+// TestDecompressKernelDifferential: the kernel's decoded bytes must equal
+// the serial decoder's for every corpus chunk, through both the indexed
+// container and the raw fallback.
+func TestDecompressKernelDifferential(t *testing.T) {
+	chunks := decompressCorpus()
+	var blobs, outs [][]byte
+	for _, data := range chunks {
+		res := lz.CompressSubBlocks(data, lz.DefaultSubBlockParams())
+		blob, _, err := lz.PostProcessOrRaw(nil, data, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+		outs = append(outs, make([]byte, len(data)))
+	}
+	k := &DecompressKernel{Blobs: blobs, Outs: outs, Cost: DefaultCostModel(), Wavefront: 64}
+	p := k.Run()
+	if k.Err != nil {
+		t.Fatal(k.Err)
+	}
+	for i, data := range chunks {
+		if !bytes.Equal(outs[i], data) {
+			t.Fatalf("chunk %d: kernel decode diverges from source", i)
+		}
+	}
+	if p.Items < len(blobs) || p.Waves < 1 || p.SumWaveCycles <= 0 {
+		t.Fatalf("implausible profile: %+v", p)
+	}
+	if f := p.DivergenceFactor(64); f < 1 {
+		t.Fatalf("divergence factor %g < 1", f)
+	}
+	if k.SubParts < 4 {
+		t.Fatalf("expected sub-block decode lanes, got %d", k.SubParts)
+	}
+}
+
+// TestDecompressKernelCorrupt: a corrupt blob surfaces in Err, the other
+// blobs still decode, and the kernel never panics.
+func TestDecompressKernelCorrupt(t *testing.T) {
+	data := bytes.Repeat([]byte("abcdefgh"), 512)
+	res := lz.CompressSubBlocks(data, lz.DefaultSubBlockParams())
+	good, _ := lz.PostProcess(nil, res)
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-2] ^= 0xFF
+	outs := [][]byte{make([]byte, len(data)), make([]byte, len(data))}
+	k := &DecompressKernel{Blobs: [][]byte{good, bad}, Outs: outs, Cost: DefaultCostModel(), Wavefront: 64}
+	k.Run()
+	if !bytes.Equal(outs[0], data) {
+		t.Fatal("good blob must decode despite a corrupt neighbour")
+	}
+	if k.Err == nil {
+		t.Fatal("corrupt blob must surface an error")
+	}
+}
+
+// TestDecompressKernelOnDevice: launching the kernel charges dispatch
+// overhead plus folded compute time on the command queue.
+func TestDecompressKernelOnDevice(t *testing.T) {
+	d := New(DefaultConfig())
+	data := bytes.Repeat([]byte("the boot sequence of a shared golden image "), 100)[:4096]
+	res := lz.CompressSubBlocks(data, lz.DefaultSubBlockParams())
+	blob, _ := lz.PostProcess(nil, res)
+	k := &DecompressKernel{Blobs: [][]byte{blob}, Outs: [][]byte{make([]byte, len(data))}, Cost: d.Cost, Wavefront: d.WavefrontSize}
+	end, p, err := d.Launch(0, k)
+	if err != nil || k.Err != nil {
+		t.Fatalf("launch: %v / %v", err, k.Err)
+	}
+	if end < d.LaunchOverhead {
+		t.Fatalf("launch must charge at least the dispatch overhead, got %v", end)
+	}
+	if want := d.LaunchOverhead + d.ComputeTime(p); end != want {
+		t.Fatalf("end %v, want overhead+compute %v", end, want)
+	}
+	if !bytes.Equal(k.Outs[0], data) {
+		t.Fatal("device decode diverges from source")
+	}
+}

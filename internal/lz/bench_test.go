@@ -73,6 +73,49 @@ func BenchmarkDecompress4K(b *testing.B) {
 	}
 }
 
+// BenchmarkSubDecode4K compares the two decode paths over one indexed
+// 4-lane container: the retained serial decoder versus the two-pass
+// resolve + per-part decode + deferred patch-up (run on one goroutine
+// here — the per-part overhead is the interesting number; the wall-clock
+// win from fanning parts out is measured by BenchmarkReadPathWallClock).
+func BenchmarkSubDecode4K(b *testing.B) {
+	data := benchChunk(0.5)
+	res := CompressSubBlocks(data, DefaultSubBlockParams())
+	blob, _ := PostProcess(nil, res)
+	b.Run("serial", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		var out []byte
+		for i := 0; i < b.N; i++ {
+			var err error
+			out, err = Decompress(out[:0], blob)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		var lay SubLayout
+		out := make([]byte, len(data))
+		var deferred []DeferredCopy
+		for i := 0; i < b.N; i++ {
+			ok, err := ResolveSubBlocks(&lay, blob)
+			if !ok || err != nil {
+				b.Fatalf("resolve: ok=%v err=%v", ok, err)
+			}
+			deferred = deferred[:0]
+			for p := range lay.Parts {
+				var derr error
+				deferred, _, derr = DecodeSubPart(out, &lay, p, deferred)
+				if derr != nil {
+					b.Fatal(derr)
+				}
+			}
+			ResolveDeferred(out, deferred)
+		}
+	})
+}
+
 func BenchmarkSubBlocks4Lanes(b *testing.B) {
 	data := benchChunk(0.5)
 	p := DefaultSubBlockParams()

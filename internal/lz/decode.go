@@ -57,6 +57,12 @@ func Decompress(dst, src []byte) ([]byte, error) {
 			return dst, fmt.Errorf("%w: bad part count", ErrCorrupt)
 		}
 		payload = payload[n2:]
+		// Each part needs at least one table varint byte: bounding the
+		// count by the payload before allocating keeps a tiny corrupt blob
+		// from provoking a part-table allocation far larger than the input.
+		if parts > uint64(len(payload)) {
+			return dst, fmt.Errorf("%w: part count %d exceeds payload", ErrCorrupt, parts)
+		}
 		// Read the part table.
 		lens := make([]uint64, parts)
 		for i := range lens {
@@ -89,6 +95,31 @@ func Decompress(dst, src []byte) ([]byte, error) {
 			return dst, fmt.Errorf("%w: decoded %d bytes, header says %d", ErrCorrupt, len(out)-base, srcLen)
 		}
 		return out, nil
+	case ModeSubIdx:
+		// The retained serial decoder for indexed containers: parts decode
+		// in order into one shared buffer (matches may reach back into the
+		// previous parts' overlap history), each checked strictly against
+		// the boundary table — a truncated part is an error here, never
+		// masked by the parts after it. The parallel path (ResolveSubBlocks
+		// + DecodeSubPart) must stay byte-identical to this.
+		var lay SubLayout
+		lay.SrcLen = int(srcLen)
+		if err := parseSubIdx(&lay, payload); err != nil {
+			return dst, err
+		}
+		out := dst
+		for i := range lay.Parts {
+			var produced int
+			var err error
+			out, produced, err = decodeTokens(out, lay.Parts[i].Tokens, base)
+			if err != nil {
+				return dst, fmt.Errorf("part %d: %w", i, err)
+			}
+			if produced != lay.Parts[i].OutLen {
+				return dst, fmt.Errorf("%w: part %d decoded %d bytes, boundary table says %d", ErrCorrupt, i, produced, lay.Parts[i].OutLen)
+			}
+		}
+		return out, nil
 	default:
 		return dst, fmt.Errorf("%w: unknown mode %d", ErrCorrupt, mode)
 	}
@@ -103,6 +134,13 @@ func decodeTokens(dst, stream []byte, base int) ([]byte, int, error) {
 	for i < len(stream) {
 		flags := stream[i]
 		i++
+		if i == len(stream) {
+			// The encoder emits a flag byte only when it is about to write
+			// an item (tokenWriter), so a stream ending right after one is
+			// provably truncated — without this check a cut mid-flag-group
+			// just produces short output with no error.
+			return dst, produced, fmt.Errorf("%w: dangling flag byte", ErrCorrupt)
+		}
 		for bit := 0; bit < 8 && i < len(stream); bit++ {
 			if flags&(1<<uint(bit)) == 0 {
 				dst = append(dst, stream[i])

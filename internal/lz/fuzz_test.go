@@ -2,8 +2,15 @@ package lz
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
 
 // FuzzDecompress: the decoder must never panic and never mis-handle
 // arbitrary input; valid blobs from both codecs must round trip.
@@ -14,7 +21,28 @@ func FuzzDecompress(f *testing.F) {
 		qblob, _ := CompressQLZ(nil, data)
 		f.Add(qblob)
 	}
+	for _, data := range corpus() {
+		// Sub-block containers with the boundary table (what PostProcess
+		// writes) and the legacy table-less layout (decode compatibility).
+		res := CompressSubBlocks(data, DefaultSubBlockParams())
+		iblob, _ := PostProcess(nil, res)
+		f.Add(iblob)
+		var legacy []byte
+		legacy = append(legacy, ModeSub)
+		legacy = appendUvarint(legacy, uint64(len(data)))
+		legacy = appendUvarint(legacy, uint64(len(res.Lanes)))
+		for _, l := range res.Lanes {
+			legacy = appendUvarint(legacy, uint64(len(l.Tokens)))
+		}
+		for _, l := range res.Lanes {
+			legacy = append(legacy, l.Tokens...)
+		}
+		f.Add(legacy)
+	}
 	f.Add([]byte{ModeSub, 4, 2, 1, 1, 0, 0})
+	f.Add([]byte{ModeSub, 0x04, 0xFF, 0xFF, 0x03})    // part count > payload
+	f.Add([]byte{ModeSubIdx, 0x04, 0xFF, 0xFF, 0x03}) // same, indexed mode
+	f.Add([]byte{ModeSubIdx, 0, 0})                   // empty indexed container
 	f.Add([]byte{99, 0})
 	f.Fuzz(func(t *testing.T, junk []byte) {
 		out, err := Decompress(nil, junk)

@@ -29,6 +29,16 @@
 //	               length, then the parts' LZSS token streams. Parts decode
 //	               sequentially into one output buffer, so a part's matches
 //	               may reach back into the previous part (the overlap).
+//	               Legacy: retained for decode compatibility only.
+//	mode 4 (sub, indexed): uvarint part count, then per part a uvarint
+//	               token length AND a uvarint output length (the boundary
+//	               table), then the token streams. The output lengths let a
+//	               decoder resolve every part's output range without
+//	               touching a token — sub-blocks then decode independently
+//	               (see ResolveSubBlocks/DecodeSubPart) — and pin each
+//	               part's produced bytes exactly, so a truncated part is an
+//	               error instead of being masked by the parts after it.
+//	               This is what PostProcess writes.
 //
 // The token stream is flag-byte interleaved: each flag byte describes the
 // next 8 items, LSB first; bit 0 = literal (1 byte), bit 1 = match (2
@@ -56,8 +66,11 @@ const (
 const (
 	ModeRaw  = 0
 	ModeLZSS = 1
-	ModeSub  = 2
+	ModeSub  = 2 // legacy sub-block container (no boundary table); decode only
 	ModeQLZ  = 3
+	// ModeSubIdx is the indexed sub-block container: mode 2 plus a per-part
+	// output-length table, written so sub-blocks can decode independently.
+	ModeSubIdx = 4
 )
 
 // Codec selects the CPU compression algorithm.

@@ -90,10 +90,15 @@ func CompressSubBlocks(src []byte, p SubBlockParams) SubBlockResult {
 }
 
 // PostProcess is the CPU refinement step: it stitches the raw lane streams
-// into the final mode-2 container, or falls back to a raw store when the
-// lanes' combined output does not beat the source ("the CPU must refine the
-// results", §3.2(2)). The returned Stats describe the final blob; its
-// SearchSteps are zero because the search already happened on the device.
+// into the final mode-4 indexed container, or falls back to a raw store
+// when the lanes' combined output does not beat the source ("the CPU must
+// refine the results", §3.2(2)). The boundary table it writes — per part,
+// the token-stream length AND the exact output length (each lane's
+// Stats.SrcBytes, the span it encoded) — is what lets the read path
+// resolve every part's output range in one cheap pass and decode the parts
+// independently (ResolveSubBlocks/DecodeSubPart). The returned Stats
+// describe the final blob; its SearchSteps are zero because the search
+// already happened on the device.
 func PostProcess(dst []byte, res SubBlockResult) ([]byte, Stats) {
 	var st Stats
 	st.SrcBytes = res.SrcLen
@@ -101,8 +106,9 @@ func PostProcess(dst []byte, res SubBlockResult) ([]byte, Stats) {
 	var table []byte
 	payload := 0
 	for _, l := range res.Lanes {
-		var tmp [binary.MaxVarintLen64]byte
+		var tmp [2 * binary.MaxVarintLen64]byte
 		k := binary.PutUvarint(tmp[:], uint64(len(l.Tokens)))
+		k += binary.PutUvarint(tmp[k:], uint64(l.Stats.SrcBytes))
 		table = append(table, tmp[:k]...)
 		payload += len(l.Tokens)
 		st.Literals += l.Stats.Literals
@@ -115,7 +121,7 @@ func PostProcess(dst []byte, res SubBlockResult) ([]byte, Stats) {
 	pn := binary.PutUvarint(pc[:], uint64(len(res.Lanes)))
 
 	total := 1 + hn + pn + len(table) + payload
-	dst = append(dst, ModeSub)
+	dst = append(dst, ModeSubIdx)
 	dst = append(dst, hdr[:hn]...)
 	dst = append(dst, pc[:pn]...)
 	dst = append(dst, table...)

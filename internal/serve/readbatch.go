@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inlinered/internal/parallel"
+	"inlinered/internal/workload"
+)
+
+// ReadBatchOptions tune a batch read run. Nothing here may affect the
+// report — only the op list and the array's configuration do.
+type ReadBatchOptions struct {
+	// Clients is the number of worker goroutines planning and committing
+	// shard batches (0 means one per shard). Wall clock only.
+	Clients int
+	// Sink, when non-nil, receives every read's result during the commit
+	// stage: i is the read's position in the batch, block aliases internal
+	// buffers and is valid only for the duration of the call. Sink is
+	// called concurrently from multiple goroutines (at most one per shard
+	// at a time), so it must be safe for concurrent use — writing to
+	// distinct per-i slots is the intended pattern.
+	Sink func(i int, block []byte, err error)
+}
+
+// ReadShardReport is one shard's slice of a batch read.
+type ReadShardReport struct {
+	Reads        int           `json:"reads"`
+	Errors       int64         `json:"errors"`
+	DecodedBlobs int64         `json:"decoded_blobs"`
+	DecodedParts int64         `json:"decoded_parts"`
+	Elapsed      time.Duration `json:"elapsed_ns"`
+	Now          time.Duration `json:"now_ns"`
+}
+
+// ReadBatchReport summarizes one Array.ReadBatch run. Like Report, it
+// excludes the client count, the decode parallelism, and any wall-clock
+// measurement: runs differing only in scheduling encode to identical
+// bytes.
+type ReadBatchReport struct {
+	Shards       int               `json:"shards"`
+	Reads        int               `json:"reads"`
+	Errors       int64             `json:"errors"`
+	DecodedBlobs int64             `json:"decoded_blobs"` // blob decodes executed (misses)
+	DecodedParts int64             `json:"decoded_parts"` // parallel decode items (sub-blocks)
+	Elapsed      time.Duration     `json:"elapsed_ns"`    // slowest shard's virtual elapsed time
+	PerShard     []ReadShardReport `json:"per_shard"`
+}
+
+// ReadBatchReportSchema versions the batch-read report envelope.
+const ReadBatchReportSchema = "inlinered/serve-readbatch-report/v1"
+
+// JSON encodes the report as stable, indented JSON with a schema envelope.
+func (r *ReadBatchReport) JSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	env := struct {
+		Schema string           `json:"schema"`
+		Report *ReadBatchReport `json:"report"`
+	}{ReadBatchReportSchema, r}
+	if err := enc.Encode(env); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// String renders a one-look summary.
+func (r *ReadBatchReport) String() string {
+	return fmt.Sprintf(
+		"shards=%d reads=%d errors=%d decoded blobs=%d parts=%d elapsed=%v",
+		r.Shards, r.Reads, r.Errors, r.DecodedBlobs, r.DecodedParts,
+		r.Elapsed.Round(time.Microsecond))
+}
+
+// decodePool returns the array's shared decode pool, creating it on first
+// use (nil when Config.Parallelism keeps decoding inline).
+func (a *Array) decodePool() *parallel.Pool {
+	if a.cfg.Parallelism <= 1 {
+		return nil
+	}
+	a.poolMu.Lock()
+	defer a.poolMu.Unlock()
+	if a.pool == nil {
+		a.pool = parallel.New(a.cfg.Parallelism)
+	}
+	return a.pool
+}
+
+// Close releases the decode worker pool. Idempotent, and the array stays
+// usable — a later ReadBatch recreates the pool. Arrays that never call
+// ReadBatch (or run with Parallelism <= 1) need not call Close.
+func (a *Array) Close() {
+	a.poolMu.Lock()
+	defer a.poolMu.Unlock()
+	if a.pool != nil {
+		a.pool.Close()
+		a.pool = nil
+	}
+}
+
+// ReadBatch executes a batch of reads across the shards through the
+// sequential-decision / parallel-decode / sequential-commit split:
+//
+//  1. Plan: workers claim whole shards (the Serve pattern) and run each
+//     shard's sequential decision phase — cache, SSD, and virtual-clock
+//     accounting in that shard's op order.
+//  2. Decode: ONE pool.Map fans every shard's decode items (one per
+//     sub-block of an indexed container) over the array's shared worker
+//     pool. Items write disjoint output ranges; nothing here touches a
+//     virtual clock.
+//  3. Commit: workers claim shards again, patch deferred overlap copies,
+//     fill cache reservations, and hand results to opt.Sink.
+//
+// Shard queues are an order-preserving partition of lbas, so each shard's
+// virtual state is a pure function of its subsequence — the report is
+// bit-identical for any Clients, Config.Parallelism, or GOMAXPROCS.
+func (a *Array) ReadBatch(lbas []int64, opt ReadBatchOptions) (*ReadBatchReport, error) {
+	n := int64(len(a.shards))
+	for i, lba := range lbas {
+		if lba < 0 || lba >= a.blocks {
+			return nil, fmt.Errorf("serve: read %d: lba %d outside [0,%d)", i, lba, a.blocks)
+		}
+	}
+
+	// Hold every shard for the whole batch (acquired in shard order; Serve
+	// and the direct API lock one shard at a time, so ascending acquisition
+	// cannot deadlock): the decode stage's pool workers touch shard state,
+	// which must stay fenced from concurrent direct calls.
+	for _, s := range a.shards {
+		s.mu.Lock()
+	}
+	defer func() {
+		for _, s := range a.shards {
+			s.mu.Unlock()
+		}
+	}()
+
+	// Count-then-fill partition into per-shard local-LBA queues, keeping
+	// each read's batch position for the commit stage.
+	for _, s := range a.shards {
+		s.lbas = s.lbas[:0]
+		s.pos = s.pos[:0]
+	}
+	for i, lba := range lbas {
+		s := a.shards[lba%n]
+		s.lbas = append(s.lbas, lba/n)
+		s.pos = append(s.pos, i)
+	}
+
+	clients := opt.Clients
+	if clients <= 0 {
+		clients = len(a.shards)
+	}
+	startNow := make([]time.Duration, len(a.shards))
+
+	// Stage 1: sequential decision phase, one worker per claimed shard.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var planErr atomic.Value
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(a.shards) {
+					return
+				}
+				s := a.shards[i]
+				if s.rb == nil {
+					s.rb = s.v.NewReadBatch()
+				}
+				startNow[i] = s.v.Now()
+				if err := s.rb.Plan(s.lbas); err != nil {
+					planErr.Store(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := planErr.Load().(error); err != nil {
+		return nil, err
+	}
+
+	// Stage 2: one global fan-out over the concatenation of every shard's
+	// decode items (Pool.Map is not reentrant, so there is exactly one).
+	prefix := make([]int, len(a.shards)+1)
+	for i, s := range a.shards {
+		prefix[i+1] = prefix[i] + s.rb.Items()
+	}
+	total := prefix[len(a.shards)]
+	run := func(k int) {
+		i := sort.SearchInts(prefix, k+1) - 1
+		a.shards[i].rb.RunItem(k - prefix[i])
+	}
+	if pool := a.decodePool(); pool != nil {
+		pool.Map(total, run)
+	} else {
+		for k := 0; k < total; k++ {
+			run(k)
+		}
+	}
+
+	// Stage 3: sequential commit phase, workers claiming shards again.
+	per := make([]ReadShardReport, len(a.shards))
+	next.Store(0)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(a.shards) {
+					return
+				}
+				s := a.shards[i]
+				s.rb.Commit()
+				pr := &per[i]
+				pr.Reads = s.rb.Len()
+				pr.Errors = int64(s.rb.Errors())
+				pr.DecodedBlobs = int64(s.rb.DecodedBlobs())
+				pr.DecodedParts = int64(s.rb.DecodedParts())
+				pr.Now = s.v.Now()
+				pr.Elapsed = pr.Now - startNow[i]
+				if opt.Sink != nil {
+					for k := 0; k < s.rb.Len(); k++ {
+						opt.Sink(s.pos[k], s.rb.Block(k), s.rb.Err(k))
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := &ReadBatchReport{Shards: len(a.shards), Reads: len(lbas), PerShard: per}
+	for i := range per {
+		rep.Errors += per[i].Errors
+		rep.DecodedBlobs += per[i].DecodedBlobs
+		rep.DecodedParts += per[i].DecodedParts
+		if per[i].Elapsed > rep.Elapsed {
+			rep.Elapsed = per[i].Elapsed
+		}
+	}
+	return rep, nil
+}
+
+// ReadOps filters a workload op list down to its reads' LBAs — the bridge
+// from a mixed ClosedLoop/preset stream to the batch read path.
+func ReadOps(ops []workload.Op) []int64 {
+	lbas := make([]int64, 0, len(ops))
+	for _, op := range ops {
+		if op.Kind == workload.OpRead {
+			lbas = append(lbas, op.LBA)
+		}
+	}
+	return lbas
+}

@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"inlinered/internal/volume"
+	"inlinered/internal/workload"
+)
+
+func batchConfig(shards, parallelism int) Config {
+	vc := volume.DefaultConfig()
+	vc.Blocks = 4096
+	vc.SSD.BlocksPerChannel = 128
+	vc.SegmentBytes = 1 << 20
+	vc.SubBlocks = 4
+	return Config{Volume: vc, Shards: shards, Parallelism: parallelism}
+}
+
+// storm builds a filled array plus the boot-storm read stream.
+func storm(t *testing.T, cfg Config) (*Array, []int64) {
+	t.Helper()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	spec := workload.DefaultBootStormSpec()
+	fill, err := spec.Fill()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Serve(fill, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	lbas, err := spec.Storm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, lbas
+}
+
+// TestReadBatchMatchesSerialReads: the batch path must return the same
+// bytes as per-read Array.Read calls, and its report must agree with the
+// per-shard virtual clocks.
+func TestReadBatchMatchesSerialReads(t *testing.T) {
+	a, lbas := storm(t, batchConfig(4, 2))
+	want := make([][]byte, len(lbas))
+	ref, _ := storm(t, batchConfig(4, 2))
+	for i, lba := range lbas {
+		data, _, err := ref.Read(lba)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = data
+	}
+	got := make([][]byte, len(lbas))
+	rep, err := a.ReadBatch(lbas, ReadBatchOptions{Sink: func(i int, block []byte, err error) {
+		if err != nil {
+			t.Errorf("read %d: %v", i, err)
+		}
+		got[i] = append([]byte(nil), block...)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lbas {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("read %d (lba %d): batch bytes diverge from serial", i, lbas[i])
+		}
+	}
+	if rep.Reads != len(lbas) || rep.Errors != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.DecodedParts <= rep.DecodedBlobs {
+		t.Fatalf("sub-block fan-out missing: %d parts over %d blobs", rep.DecodedParts, rep.DecodedBlobs)
+	}
+	if rep.Elapsed <= 0 {
+		t.Fatal("batch must consume virtual time")
+	}
+}
+
+// TestReadBatchDeterminism: reports must encode to identical bytes across
+// client counts, decode parallelism, and GOMAXPROCS — the read-path
+// determinism matrix CI runs.
+func TestReadBatchDeterminism(t *testing.T) {
+	var ref []byte
+	for _, procs := range []int{1, runtime.NumCPU()} {
+		prev := runtime.GOMAXPROCS(procs)
+		for _, clients := range []int{1, 2, 8} {
+			for _, par := range []int{1, 4} {
+				a, lbas := storm(t, batchConfig(4, par))
+				rep, err := a.ReadBatch(lbas, ReadBatchOptions{Clients: clients})
+				if err != nil {
+					t.Fatal(err)
+				}
+				js, err := rep.JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref == nil {
+					ref = js
+				} else if !bytes.Equal(js, ref) {
+					t.Fatalf("procs=%d clients=%d parallelism=%d: report diverged:\n%s\nwant:\n%s",
+						procs, clients, par, js, ref)
+				}
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+}
+
+// TestReadBatchShardEquivalence: a 1-shard array's batch must be
+// bit-identical to the raw volume's own ReadBatch (the serve tier adds
+// routing, not accounting).
+func TestReadBatchShardEquivalence(t *testing.T) {
+	cfg := batchConfig(1, 1)
+	a, lbas := storm(t, cfg)
+	v, err := volume.New(cfg.Volume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.DefaultBootStormSpec()
+	fill, _ := spec.Fill()
+	var payload []byte
+	for _, op := range fill {
+		payload = workload.UniqueChunkInto(payload[:0], 0, op.Content, cfg.Volume.BlockSize, 0.5)
+		if _, err := v.Write(op.LBA, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := a.ReadBatch(lbas, ReadBatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := v.ReadBatch(nil, lbas, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Errors() != int(rep.Errors) {
+		t.Fatalf("errors diverge: %d vs %d", b.Errors(), rep.Errors)
+	}
+	if v.Now() != rep.PerShard[0].Now {
+		t.Fatalf("1-shard array clock %v, raw volume %v", rep.PerShard[0].Now, v.Now())
+	}
+	if int64(b.DecodedBlobs()) != rep.DecodedBlobs || int64(b.DecodedParts()) != rep.DecodedParts {
+		t.Fatalf("decode counters diverge: (%d,%d) vs (%d,%d)",
+			b.DecodedBlobs(), b.DecodedParts(), rep.DecodedBlobs, rep.DecodedParts)
+	}
+}
+
+// TestReadBatchReadMostlyPreset: the read-mostly closed-loop preset drives
+// a mixed Serve pass, then its reads replay through the batch path —
+// the batch must agree with the shard clocks advanced by exactly those
+// reads, for any parallelism.
+func TestReadBatchReadMostlyPreset(t *testing.T) {
+	ops, err := workload.ClosedLoop(workload.ReadMostlySpec(500, 512, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbas := ReadOps(ops)
+	if len(lbas) < 400 {
+		t.Fatalf("read-mostly preset produced only %d reads", len(lbas))
+	}
+	var ref []byte
+	for _, par := range []int{1, 4} {
+		cfg := batchConfig(4, par)
+		a, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(a.Close)
+		// Fill with the preset's write prefix so reads mostly hit mapped
+		// blocks.
+		if _, err := a.Serve(ops[:512], RunOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := a.ReadBatch(lbas, ReadBatchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = js
+		} else if !bytes.Equal(js, ref) {
+			t.Fatalf("parallelism=%d: read-mostly batch report diverged", par)
+		}
+	}
+}
+
+// TestReadBatchValidation: an out-of-range LBA fails the whole batch
+// before any shard state changes.
+func TestReadBatchValidation(t *testing.T) {
+	a, _ := storm(t, batchConfig(2, 1))
+	before := a.Stats()
+	if _, err := a.ReadBatch([]int64{0, a.Blocks()}, ReadBatchOptions{}); err == nil {
+		t.Fatal("out-of-range lba accepted")
+	}
+	if a.Stats() != before {
+		t.Fatal("failed validation mutated shard state")
+	}
+}
+
+func BenchmarkServeReadBatch(b *testing.B) {
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			cfg := batchConfig(4, par)
+			a, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer a.Close()
+			spec := workload.DefaultBootStormSpec()
+			fill, _ := spec.Fill()
+			if _, err := a.Serve(fill, RunOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			lbas, _ := spec.Storm()
+			b.SetBytes(int64(len(lbas)) * int64(cfg.Volume.BlockSize))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.ReadBatch(lbas, ReadBatchOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

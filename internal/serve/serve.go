@@ -29,6 +29,7 @@ import (
 
 	"inlinered/internal/metrics"
 	"inlinered/internal/obs"
+	"inlinered/internal/parallel"
 	"inlinered/internal/sim"
 	"inlinered/internal/volume"
 	"inlinered/internal/workload"
@@ -52,6 +53,12 @@ type Config struct {
 	// Obs optionally attaches one recorder per shard (a recorder serves
 	// exactly one volume's lanes). Length must be 0 or Shards.
 	Obs []*obs.Recorder
+	// Parallelism is the decode worker count for the batch read path
+	// (Array.ReadBatch): sub-block decode items fan out over one shared
+	// worker pool of this size. 0 or 1 decodes inline. Like Clients, it
+	// changes only the wall clock — reports are bit-identical for any
+	// value.
+	Parallelism int
 }
 
 // shard pairs a volume with the mutex that serializes direct calls into it.
@@ -64,6 +71,13 @@ type shard struct {
 	// caller's buffer.
 	payload []byte
 	readBuf []byte
+	// rb is the shard's reusable batch-read state (lazily created; owned
+	// by whoever holds mu).
+	rb *volume.ReadBatch
+	// lbas is the batch read path's per-shard queue: local LBAs plus the
+	// original batch positions for routing results back.
+	lbas []int64
+	pos  []int
 }
 
 // serveScratch holds the batch path's reusable partition and report
@@ -83,6 +97,12 @@ type Array struct {
 	blocks  int64
 	shards  []*shard
 	scratch serveScratch
+
+	// Decode worker pool for the batch read path, created on first use.
+	// One pool per array: parallel.Pool.Map is not reentrant, so ReadBatch
+	// issues exactly one Map over all shards' decode items.
+	poolMu sync.Mutex
+	pool   *parallel.Pool
 }
 
 // New builds an array of cfg.Shards independent volumes.

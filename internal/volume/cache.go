@@ -37,17 +37,72 @@ func newBlockCache(capBytes int64) *blockCache {
 
 // get returns the cached block and promotes it, or nil on a miss.
 func (c *blockCache) get(fp dedup.Fingerprint) []byte {
-	if c.capBytes <= 0 {
+	e, ok := c.getRef(fp)
+	if !ok {
 		return nil
+	}
+	return e.data
+}
+
+// getRef is get returning the entry itself: the batch read path needs the
+// hit/promote bookkeeping of a lookup while sourcing the bytes elsewhere
+// (an entry reserved earlier in the same batch holds its data only at
+// commit). Same counters and LRU movement as get.
+func (c *blockCache) getRef(fp dedup.Fingerprint) (*cacheEntry, bool) {
+	if c.capBytes <= 0 {
+		return nil, false
 	}
 	el, ok := c.byFP[fp]
 	if !ok {
 		c.misses++
-		return nil
+		return nil, false
 	}
 	c.hits++
 	c.lru.MoveToFront(el)
-	return el.Value.(*cacheEntry).data
+	return el.Value.(*cacheEntry), true
+}
+
+// reserve inserts an n-byte entry whose bytes the caller fills later and
+// returns its data slice (nil when the cache is off or n oversized). The
+// batch read path reserves at decision time so eviction and LRU state
+// advance exactly as the serial path's put would, even though the decoded
+// bytes only land at commit. The returned slice stays valid if the entry
+// is evicted before the fill — filling an orphan is harmless.
+func (c *blockCache) reserve(fp dedup.Fingerprint, n int) []byte {
+	if c.capBytes <= 0 || int64(n) > c.capBytes {
+		return nil
+	}
+	if el, ok := c.byFP[fp]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).data
+	}
+	for c.usedBytes+int64(n) > c.capBytes {
+		tail := c.lru.Back()
+		if tail == nil {
+			break
+		}
+		e := tail.Value.(*cacheEntry)
+		c.lru.Remove(tail)
+		delete(c.byFP, e.fp)
+		c.usedBytes -= int64(len(e.data))
+	}
+	data := make([]byte, n)
+	c.byFP[fp] = c.lru.PushFront(&cacheEntry{fp: fp, data: data})
+	c.usedBytes += int64(n)
+	return data
+}
+
+// remove drops fp's entry if present (a failed decode un-reserves its
+// slot so a garbage block can never serve later reads).
+func (c *blockCache) remove(fp dedup.Fingerprint) {
+	el, ok := c.byFP[fp]
+	if !ok {
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.byFP, e.fp)
+	c.usedBytes -= int64(len(e.data))
 }
 
 // put inserts a block, evicting from the LRU tail to stay within capacity.

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"inlinered/internal/cpusim"
 	"inlinered/internal/fault"
 	"inlinered/internal/obs"
 )
@@ -134,8 +135,10 @@ func TestReadErrorCommitsTimeAndStats(t *testing.T) {
 }
 
 // TestUnmappedReadObserved checks the consistency half of the Read fix:
-// unmapped reads count in Stats, observe zero latency, and emit a span like
-// every mapped read.
+// unmapped reads count in Stats, observe the zero-fill staging-copy charge
+// in the latency histogram (they used to count at zero latency, making an
+// unmapped read cheaper than a cache hit of the same bytes), and emit a
+// span like every mapped read.
 func TestUnmappedReadObserved(t *testing.T) {
 	cfg := smallConfig()
 	rec := obs.NewRecorder()
@@ -145,8 +148,10 @@ func TestUnmappedReadObserved(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if lat != 0 {
-		t.Fatalf("unmapped read latency = %v, want 0 (never touches media)", lat)
+	cpu := cpusim.New(cfg.CPU)
+	_, want := cpu.Run(0, cpu.Cost.MemcpyCycles(cfg.BlockSize)+cpu.Cost.StageOverheadCycles)
+	if lat != want {
+		t.Fatalf("unmapped read latency = %v, want the zero-fill copy charge %v", lat, want)
 	}
 	for _, b := range got {
 		if b != 0 {
@@ -159,6 +164,10 @@ func TestUnmappedReadObserved(t *testing.T) {
 	}
 	if st.ReadLat.Count != 1 {
 		t.Fatalf("unmapped read missing from the histogram: count = %d, want 1", st.ReadLat.Count)
+	}
+	if st.ReadLat.Max != want || st.ReadLat.Min != want {
+		t.Fatalf("histogram must pin the zero-fill charge: min=%v max=%v want=%v",
+			st.ReadLat.Min, st.ReadLat.Max, want)
 	}
 	if rec.Spans() == 0 {
 		t.Fatal("unmapped read emitted no span")

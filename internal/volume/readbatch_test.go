@@ -1,0 +1,254 @@
+package volume
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"inlinered/internal/fault"
+	"inlinered/internal/parallel"
+)
+
+// subConfig is smallConfig with the indexed sub-block write path on, so
+// batch reads exercise the parallel per-part decode.
+func subConfig() Config {
+	cfg := smallConfig()
+	cfg.SubBlocks = 4
+	return cfg
+}
+
+// fillVolume writes n deterministic blocks (with some duplicates to
+// exercise dedup-shared fingerprints) and returns the written images.
+func fillVolume(t *testing.T, v *Volume, n int) [][]byte {
+	t.Helper()
+	blocks := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		data := block(i % (n * 3 / 4)) // last quarter duplicates earlier content
+		if _, err := v.Write(int64(i), data); err != nil {
+			t.Fatal(err)
+		}
+		blocks[i] = data
+	}
+	return blocks
+}
+
+// stormLBAs is a deterministic boot-storm-ish request stream: repeated
+// sweeps over a hot set plus some unmapped holes.
+func stormLBAs(n int64, reads int) []int64 {
+	lbas := make([]int64, reads)
+	for i := range lbas {
+		switch {
+		case i%17 == 0:
+			lbas[i] = n + int64(i%7) // unmapped hole
+		default:
+			lbas[i] = int64((i * 13) % int(n))
+		}
+	}
+	return lbas
+}
+
+// TestReadBatchMatchesSerial: on a healthy volume, one ReadBatch must be
+// indistinguishable from the same reads issued serially — same bytes, same
+// per-request latencies, same final clock, stats, and histogram summary.
+func TestReadBatchMatchesSerial(t *testing.T) {
+	for _, sub := range []int{0, 4} {
+		t.Run(fmt.Sprintf("subblocks=%d", sub), func(t *testing.T) {
+			cfg := smallConfig()
+			cfg.SubBlocks = sub
+			vs := newVolume(t, cfg)
+			vb := newVolume(t, cfg)
+			fillVolume(t, vs, 64)
+			fillVolume(t, vb, 64)
+			lbas := stormLBAs(64, 200)
+
+			type res struct {
+				data []byte
+				lat  int64
+			}
+			serial := make([]res, len(lbas))
+			var buf []byte
+			for i, lba := range lbas {
+				out, lat, err := vs.ReadInto(buf[:0], lba)
+				if err != nil {
+					t.Fatal(err)
+				}
+				serial[i] = res{data: append([]byte(nil), out...), lat: int64(lat)}
+				buf = out
+			}
+
+			b, err := vb.ReadBatch(nil, lbas, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Len() != len(lbas) {
+				t.Fatalf("batch len %d, want %d", b.Len(), len(lbas))
+			}
+			for i := range lbas {
+				if err := b.Err(i); err != nil {
+					t.Fatalf("read %d: %v", i, err)
+				}
+				if !bytes.Equal(b.Block(i), serial[i].data) {
+					t.Fatalf("read %d (lba %d): batch bytes diverge from serial", i, lbas[i])
+				}
+				if int64(b.Latency(i)) != serial[i].lat {
+					t.Fatalf("read %d (lba %d): batch latency %v, serial %v",
+						i, lbas[i], b.Latency(i), serial[i].lat)
+				}
+			}
+			if vs.Now() != vb.Now() {
+				t.Fatalf("clock diverged: serial %v, batch %v", vs.Now(), vb.Now())
+			}
+			ss, bs := vs.Stats(), vb.Stats()
+			if ss != bs {
+				t.Fatalf("stats diverged:\nserial %+v\nbatch  %+v", ss, bs)
+			}
+		})
+	}
+}
+
+// TestReadBatchDeterministicAcrossWorkers: the committed batch (bytes,
+// latencies, stats) must be bit-identical whether the decode phase runs
+// inline or fanned out over any pool size.
+func TestReadBatchDeterministicAcrossWorkers(t *testing.T) {
+	lbas := stormLBAs(64, 300)
+	var ref *Volume
+	var refB *ReadBatch
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		v := newVolume(t, subConfig())
+		fillVolume(t, v, 64)
+		var pool *parallel.Pool
+		if workers > 0 {
+			pool = parallel.New(workers)
+		}
+		b, err := v.ReadBatch(nil, lbas, pool)
+		if pool != nil {
+			pool.Close()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref, refB = v, b
+			if b.DecodedParts() <= b.DecodedBlobs() {
+				t.Fatalf("sub-block mode produced no parallel fan-out: %d parts over %d blobs",
+					b.DecodedParts(), b.DecodedBlobs())
+			}
+			continue
+		}
+		for i := range lbas {
+			if !bytes.Equal(b.Block(i), refB.Block(i)) {
+				t.Fatalf("workers=%d: read %d bytes diverge", workers, i)
+			}
+			if b.Latency(i) != refB.Latency(i) {
+				t.Fatalf("workers=%d: read %d latency diverges", workers, i)
+			}
+		}
+		if v.Now() != ref.Now() {
+			t.Fatalf("workers=%d: clock diverged", workers)
+		}
+		if v.Stats() != ref.Stats() {
+			t.Fatalf("workers=%d: stats diverged", workers)
+		}
+	}
+}
+
+// TestReadBatchReuse: recycling one batch across many calls must not leak
+// state between batches.
+func TestReadBatchReuse(t *testing.T) {
+	v := newVolume(t, subConfig())
+	blocks := fillVolume(t, v, 32)
+	var b *ReadBatch
+	var err error
+	for round := 0; round < 4; round++ {
+		lbas := stormLBAs(32, 50+round*37)
+		b, err = v.ReadBatch(b, lbas, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, lba := range lbas {
+			if err := b.Err(i); err != nil {
+				t.Fatal(err)
+			}
+			want := make([]byte, v.cfg.BlockSize)
+			if lba < 32 {
+				want = blocks[lba]
+			}
+			if !bytes.Equal(b.Block(i), want) {
+				t.Fatalf("round %d read %d (lba %d): bytes diverge", round, i, lba)
+			}
+		}
+	}
+}
+
+// TestReadBatchDriveError: a failed SSD read inside a batch follows the
+// serial error-path accounting contract (time committed, read counted) and
+// only fails its own request.
+func TestReadBatchDriveError(t *testing.T) {
+	v := newVolume(t, subConfig())
+	fillVolume(t, v, 16)
+	// Rate-1 transient read errors exhaust the bounded retries, surfacing
+	// as permanent failures.
+	armFaults(v, fault.Config{Seed: 11, Rates: fault.Rates{SSDReadTransient: 1}})
+	before := v.Stats()
+	lbas := []int64{0, 1, 2}
+	b, err := v.ReadBatch(nil, lbas, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Errors() != len(lbas) {
+		t.Fatalf("errors = %d, want %d (every uncached read hits the drive)", b.Errors(), len(lbas))
+	}
+	st := v.Stats()
+	if st.Reads != before.Reads+int64(len(lbas)) {
+		t.Fatalf("failed batch reads missing from Stats.Reads: %d -> %d", before.Reads, st.Reads)
+	}
+	if st.ReadLat.Count != before.ReadLat.Count+int64(len(lbas)) {
+		t.Fatalf("failed batch reads missing from the histogram")
+	}
+	// The volume still serves the blocks once the fault clears.
+	disarmFaults(v)
+	b, err = v.ReadBatch(b, lbas, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Errors() != 0 {
+		t.Fatalf("reads still failing after faults cleared: %d", b.Errors())
+	}
+}
+
+// TestReadBatchCorruptBlob: a blob corrupted in the store fails its read at
+// commit, never populates the cache with garbage, and leaves the other
+// reads in the batch intact.
+func TestReadBatchCorruptBlob(t *testing.T) {
+	v := newVolume(t, subConfig())
+	blocks := fillVolume(t, v, 8)
+	// Corrupt lba 2's stored blob in place (flip a token byte, keeping the
+	// container header plausible).
+	fp := v.lbaMap[2]
+	ref := v.chunks[fp]
+	blob := v.blobs[ref.loc]
+	blob[len(blob)-1] ^= 0xFF
+	lbas := []int64{0, 2, 1, 2}
+	b, err := v.ReadBatch(nil, lbas, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Err(1) == nil || b.Err(3) == nil {
+		t.Fatal("corrupt blob must fail both reads that need it")
+	}
+	if b.Err(0) != nil || b.Err(2) != nil {
+		t.Fatalf("healthy reads failed: %v / %v", b.Err(0), b.Err(2))
+	}
+	if !bytes.Equal(b.Block(0), blocks[0]) || !bytes.Equal(b.Block(2), blocks[1]) {
+		t.Fatal("healthy reads corrupted by a failing neighbour")
+	}
+	// The reserved cache slot must have been removed: a retry decodes from
+	// the store again and fails again (it must NOT hit a garbage entry).
+	b, err = v.ReadBatch(b, []int64{2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Err(0) == nil {
+		t.Fatal("corrupt blob served from cache after a failed decode")
+	}
+}

@@ -51,6 +51,12 @@ type Config struct {
 	// CacheBytes bounds the content-addressed DRAM read cache (0 disables
 	// it). Cached blocks serve reads without SSD pages or decompression.
 	CacheBytes int64
+	// SubBlocks > 1 compresses each unique chunk as that many independent
+	// sub-blocks packed into an indexed container (lz.ModeSubIdx), whose
+	// boundary table lets the batch read path decode the sub-blocks in
+	// parallel. 0 or 1 keeps the single-stream codec path. Ignored when
+	// Compress is false.
+	SubBlocks int
 	// Faults schedules deterministic fault injection across the drive, the
 	// index journal, and the index. The zero value injects nothing and
 	// leaves the volume bit-identical to a build without injection.
@@ -133,7 +139,8 @@ type Stats struct {
 
 	// Per-operation virtual latency digests (always on: the closed-loop
 	// volume is latency-oriented, so every request contributes a sample).
-	// Unmapped reads count at zero latency — they never touch media.
+	// Unmapped reads never touch media but still pay the zero-fill staging
+	// copy into the caller's buffer, charged like a cache hit's copy.
 	WriteLat        sim.LatencySummary `json:"write_lat"`
 	ReadLat         sim.LatencySummary `json:"read_lat"`
 	TrimLat         sim.LatencySummary `json:"trim_lat"`
@@ -489,7 +496,21 @@ func (v *Volume) Write(lba int64, data []byte) (time.Duration, error) {
 		// capacity-grown slice alive.
 		var cycles float64
 		spanName := "store-raw"
-		if v.cfg.Compress {
+		if v.cfg.Compress && v.cfg.SubBlocks > 1 {
+			// Sub-block mode: independent lanes plus the indexed container
+			// the parallel read path needs (raw fallback when the container
+			// would not pay for itself).
+			sp := lz.SubBlockParams{Params: v.cfg.LZ, SubBlocks: v.cfg.SubBlocks, Overlap: lz.Window / 8}
+			res := lz.CompressSubBlocks(data, sp)
+			var st lz.Stats
+			var perr error
+			v.compScratch, st, perr = lz.PostProcessOrRaw(v.compScratch[:0], data, res)
+			if perr != nil {
+				return 0, perr // impossible by construction: res came from data
+			}
+			cycles = cost.CompressCycles(st.Positions, st.SearchSteps, st.DstBytes)
+			spanName = "compress-sub"
+		} else if v.cfg.Compress {
 			var st lz.Stats
 			v.compScratch, st = lz.CompressCodec(v.cfg.Codec, v.compScratch[:0], data, v.cfg.LZ)
 			cycles = cost.CompressCycles(st.Positions, st.SearchSteps, st.DstBytes)
@@ -659,13 +680,19 @@ func (v *Volume) ReadInto(dst []byte, lba int64) ([]byte, time.Duration, error) 
 	base := len(dst)
 	fp, ok := v.lbaMap[lba]
 	if !ok {
-		// Unmapped: the array synthesizes zeros without touching media.
+		// Unmapped: the array synthesizes zeros without touching media, but
+		// the staging copy into the caller's buffer is real work — charged
+		// exactly like a cache hit's copy, so an unmapped read can never be
+		// cheaper than a cached one.
+		zs, t := v.cpu.Run(v.now, v.cpu.Cost.MemcpyCycles(v.cfg.BlockSize)+v.cpu.Cost.StageOverheadCycles)
+		v.cpuSpan("zero-fill", zs, t)
 		v.stats.Reads++
-		v.histR.Observe(0)
+		v.now = t
+		v.histR.Observe(t - start)
 		if v.obs != nil {
-			v.obs.SpanN(v.laneOps, "read", start, start, "lba", lba)
+			v.obs.SpanN(v.laneOps, "read", start, t, "lba", lba)
 		}
-		return appendZeros(dst, v.cfg.BlockSize), 0, nil
+		return appendZeros(dst, v.cfg.BlockSize), t - start, nil
 	}
 	// Content-addressed cache: a hit skips the SSD and the decoder, paying
 	// one staging copy.

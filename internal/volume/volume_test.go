@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"inlinered/internal/cpusim"
 	"inlinered/internal/workload"
 )
 
@@ -77,13 +78,19 @@ func TestWriteReadRoundTrip(t *testing.T) {
 }
 
 func TestUnmappedReadsZeros(t *testing.T) {
-	v := newVolume(t, smallConfig())
+	cfg := smallConfig()
+	v := newVolume(t, cfg)
 	got, lat, err := v.Read(7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if lat != 0 {
-		t.Fatal("unmapped read should not touch media")
+	// The zero block never touches media, but the staging copy into the
+	// caller's buffer is charged like a cache hit's copy: pin the latency to
+	// exactly the memcpy + stage-overhead cost on an idle CPU.
+	cpu := cpusim.New(cfg.CPU)
+	_, want := cpu.Run(0, cpu.Cost.MemcpyCycles(cfg.BlockSize)+cpu.Cost.StageOverheadCycles)
+	if lat != want {
+		t.Fatalf("unmapped read latency = %v, want the zero-fill copy charge %v", lat, want)
 	}
 	for _, b := range got {
 		if b != 0 {

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BootStormSpec parameterizes the VDI boot-storm generator: many clients
+// booting clones of one golden image at once. The read stream is massively
+// redundant (every client walks the same image blocks) and read-only —
+// the workload the parallel batch-read path exists for.
+type BootStormSpec struct {
+	Clients        int   // virtual desktops booting concurrently
+	ImageBlocks    int64 // golden image size in blocks
+	ReadsPerClient int   // boot sequence length per client
+	// UniqueBlocks is how many blocks of the image a boot actually touches
+	// (the hot boot working set; 0 means the whole image).
+	UniqueBlocks int64
+	// Jitter desynchronizes clients: each client's boot sequence starts at
+	// its own offset into the image walk. 0 keeps all clients in lockstep
+	// (the worst-case storm).
+	Jitter bool
+	Seed   int64
+}
+
+// DefaultBootStormSpec is a modest storm sized for tests and examples:
+// 32 desktops booting a 256-block image.
+func DefaultBootStormSpec() BootStormSpec {
+	return BootStormSpec{
+		Clients:        32,
+		ImageBlocks:    256,
+		ReadsPerClient: 128,
+		UniqueBlocks:   128,
+		Jitter:         true,
+		Seed:           1,
+	}
+}
+
+// Validate reports whether the spec is usable.
+func (s BootStormSpec) Validate() error {
+	if s.Clients < 1 || s.ImageBlocks < 1 || s.ReadsPerClient < 1 {
+		return fmt.Errorf("workload: boot storm needs clients, image blocks, and reads per client >= 1: %+v", s)
+	}
+	if s.UniqueBlocks < 0 || s.UniqueBlocks > s.ImageBlocks {
+		return fmt.Errorf("workload: unique blocks must be in [0,%d]: %+v", s.ImageBlocks, s)
+	}
+	return nil
+}
+
+// Fill returns the write op list that installs the golden image: one write
+// per image block, with content ids drawn so that clone images share most
+// blocks (boot images dedup hard in practice).
+func (s BootStormSpec) Fill() ([]Op, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	// A quarter of the image blocks are distinct contents; the rest repeat
+	// them, mirroring how OS images dedup.
+	contents := int32(s.ImageBlocks/4 + 1)
+	ops := make([]Op, s.ImageBlocks)
+	for lba := int64(0); lba < s.ImageBlocks; lba++ {
+		ops[lba] = Op{Kind: OpWrite, LBA: lba, Content: rng.Int31n(contents)}
+	}
+	return ops, nil
+}
+
+// Storm returns the boot-storm read stream: clients' boot sequences
+// interleaved round-robin (the arrival order an array sees when every
+// desktop powers on together). Each client walks the hot working set in
+// image order, offset by its jitter. The result is a pure function of the
+// spec.
+func (s BootStormSpec) Storm() ([]int64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	hot := s.UniqueBlocks
+	if hot == 0 {
+		hot = s.ImageBlocks
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 1))
+	offsets := make([]int64, s.Clients)
+	for c := range offsets {
+		if s.Jitter {
+			offsets[c] = rng.Int63n(hot)
+		}
+	}
+	lbas := make([]int64, 0, s.Clients*s.ReadsPerClient)
+	for r := 0; r < s.ReadsPerClient; r++ {
+		for c := 0; c < s.Clients; c++ {
+			lbas = append(lbas, (offsets[c]+int64(r))%hot)
+		}
+	}
+	return lbas, nil
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBootStormDeterministic(t *testing.T) {
+	spec := DefaultBootStormSpec()
+	f1, err := spec.Fill()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := spec.Storm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := spec.Fill()
+	s2, _ := spec.Storm()
+	if !reflect.DeepEqual(f1, f2) || !reflect.DeepEqual(s1, s2) {
+		t.Fatal("boot storm must be a pure function of the spec")
+	}
+	if len(s1) != spec.Clients*spec.ReadsPerClient {
+		t.Fatalf("storm length %d, want %d", len(s1), spec.Clients*spec.ReadsPerClient)
+	}
+	hot := spec.UniqueBlocks
+	for _, lba := range s1 {
+		if lba < 0 || lba >= hot {
+			t.Fatalf("storm read outside the hot set: %d", lba)
+		}
+	}
+	// Round-robin interleave: consecutive reads belong to different
+	// clients, so position i and i+Clients are the same client's walk,
+	// one step apart.
+	if s1[0] == s1[1] && s1[1] == s1[2] && s1[2] == s1[3] {
+		t.Fatal("storm does not look interleaved (jittered clients collided 4-wide)")
+	}
+	if (s1[spec.Clients]-s1[0]+hot)%hot != 1 {
+		t.Fatalf("client 0's walk is not sequential: %d then %d", s1[0], s1[spec.Clients])
+	}
+}
+
+func TestBootStormLockstep(t *testing.T) {
+	spec := DefaultBootStormSpec()
+	spec.Jitter = false
+	s, err := spec.Storm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lockstep: within one round, every client reads the same block.
+	for c := 1; c < spec.Clients; c++ {
+		if s[c] != s[0] {
+			t.Fatalf("lockstep storm diverged at client %d", c)
+		}
+	}
+}
+
+func TestBootStormValidate(t *testing.T) {
+	bad := []BootStormSpec{
+		{Clients: 0, ImageBlocks: 1, ReadsPerClient: 1},
+		{Clients: 1, ImageBlocks: 0, ReadsPerClient: 1},
+		{Clients: 1, ImageBlocks: 1, ReadsPerClient: 0},
+		{Clients: 1, ImageBlocks: 4, ReadsPerClient: 1, UniqueBlocks: 5},
+	}
+	for i, spec := range bad {
+		if _, err := spec.Storm(); err == nil {
+			t.Fatalf("spec %d: invalid spec accepted", i)
+		}
+	}
+}

@@ -2,9 +2,10 @@
 # bench-compare.sh — guard the wall-clock benchmarks against regressions and
 # emit the machine-readable benchmark trajectory.
 #
-# Runs BenchmarkDataPlaneWallClock, BenchmarkServeWallClock, and
-# BenchmarkClusterWallClock (root package) plus the chunker
-# (BenchmarkGearCDC*) and batch-fingerprint (BenchmarkSumBatch)
+# Runs BenchmarkDataPlaneWallClock, BenchmarkServeWallClock,
+# BenchmarkClusterWallClock, and BenchmarkReadPathWallClock (root package)
+# plus the chunker (BenchmarkGearCDC*), batch-fingerprint
+# (BenchmarkSumBatch), and sub-block decode (BenchmarkSubDecode4K)
 # microbenchmarks, and compares them with the
 # checked-in baseline (bench_baseline.txt, recorded with
 # scripts/bench-compare.sh --record on the reference machine). Uses
@@ -35,7 +36,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE=bench_baseline.txt
-BENCH='BenchmarkDataPlaneWallClock|BenchmarkServeWallClock|BenchmarkClusterWallClock'
+BENCH='BenchmarkDataPlaneWallClock|BenchmarkServeWallClock|BenchmarkClusterWallClock|BenchmarkReadPathWallClock'
 # Every guarded benchmark/subbenchmark pair, for the fallback comparison.
 # A trailing slash scopes a prefix to its own subbenchmarks only
 # (BenchmarkGearCDC/ does not match BenchmarkGearCDCRef/...).
@@ -47,8 +48,12 @@ CASES=(
     BenchmarkServeWallClock/shards4
     BenchmarkClusterWallClock/nodes1
     BenchmarkClusterWallClock/nodes3r2
+    BenchmarkReadPathWallClock/serial
+    BenchmarkReadPathWallClock/parallel
     BenchmarkGearCDC/
     BenchmarkSumBatch
+    BenchmarkSubDecode4K/serial
+    BenchmarkSubDecode4K/indexed
 )
 COUNT="${BENCH_COUNT:-5}"
 # Both tolerances gate the exit status. Allocation counts are deterministic
@@ -73,6 +78,8 @@ run_bench() {
         -benchtime 100x -count "$COUNT" -timeout 20m
     go test ./internal/dedup -run '^$' -bench 'BenchmarkSumBatch|BenchmarkParallelSumBatch' \
         -benchtime 20x -count "$COUNT" -timeout 20m
+    go test ./internal/lz -run '^$' -bench 'BenchmarkSubDecode4K' \
+        -benchtime 500x -count "$COUNT" -timeout 20m
 }
 
 # geomean <file> <benchmark-substring> <unit>
@@ -174,6 +181,10 @@ write_json() {
             "$(ratio "$raw" BenchmarkServeWallClock/shards1 BenchmarkServeWallClock/shards4)"
         printf '          {"name": "ratio: ClusterWallClock nodes3r2/nodes1", "value": %s, "unit": "x", "extra": "geomean ns/op ratio (replication overhead)"},\n' \
             "$(ratio "$raw" BenchmarkClusterWallClock/nodes3r2 BenchmarkClusterWallClock/nodes1)"
+        printf '          {"name": "ratio: ReadPathWallClock serial/parallel", "value": %s, "unit": "x", "extra": "geomean ns/op ratio (boot-storm decode fan-out)"},\n' \
+            "$(ratio "$raw" BenchmarkReadPathWallClock/serial BenchmarkReadPathWallClock/parallel)"
+        printf '          {"name": "ratio: SubDecode4K serial/indexed", "value": %s, "unit": "x", "extra": "geomean ns/op ratio (two-pass decode overhead on one goroutine)"},\n' \
+            "$(ratio "$raw" BenchmarkSubDecode4K/serial BenchmarkSubDecode4K/indexed)"
         printf '          {"name": "ratio: GearCDC ref/fast", "value": %s, "unit": "x", "extra": "geomean ns/op ratio over all corpora"}\n' \
             "$(ratio "$raw" BenchmarkGearCDCRef/ BenchmarkGearCDC/)"
         printf '        ]\n'
@@ -196,10 +207,13 @@ if [[ "${1:-}" == "--record" ]]; then
         echo "#   DataPlaneWallClock serial/parallel = $(ratio "$RAW" BenchmarkDataPlaneWallClock/serial BenchmarkDataPlaneWallClock/parallel)"
         echo "#   ServeWallClock shards1/shards4     = $(ratio "$RAW" BenchmarkServeWallClock/shards1 BenchmarkServeWallClock/shards4)"
         echo "#   ClusterWallClock nodes3r2/nodes1   = $(ratio "$RAW" BenchmarkClusterWallClock/nodes3r2 BenchmarkClusterWallClock/nodes1)"
+        echo "#   ReadPathWallClock serial/parallel  = $(ratio "$RAW" BenchmarkReadPathWallClock/serial BenchmarkReadPathWallClock/parallel)"
+        echo "#   SubDecode4K serial/indexed         = $(ratio "$RAW" BenchmarkSubDecode4K/serial BenchmarkSubDecode4K/indexed)"
         echo "#   GearCDC ref/fast (all corpora)     = $(ratio "$RAW" BenchmarkGearCDCRef/ BenchmarkGearCDC/)"
-        echo "# On a single-core host the first two ratios hover near 1.00: the parallel"
-        echo "# and sharded cases time-slice one CPU, so only dispatch overhead separates"
-        echo "# them. Multi-core speedups must be recorded on a multi-core machine."
+        echo "# On a single-core host the serial/parallel and shards1/shards4 ratios"
+        echo "# hover near 1.00: the parallel, sharded, and batch-read-fan-out cases"
+        echo "# time-slice one CPU, so only dispatch overhead separates them."
+        echo "# Multi-core speedups must be recorded on a multi-core machine."
         cat "$RAW"
     } >"$BASELINE"
     echo "recorded baseline into $BASELINE"
