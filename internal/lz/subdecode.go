@@ -103,6 +103,14 @@ func parseSubIdx(lay *SubLayout, payload []byte) error {
 			return fmt.Errorf("%w: bad output length for part %d", ErrCorrupt, i)
 		}
 		payload = payload[k2:]
+		// A token stream expands at most MaxMatch/2 ×: a match token is two
+		// stream bytes for up to MaxMatch output bytes, and flag bytes only
+		// dilute that. A part promising more is corrupt — rejecting it here
+		// (not at decode) keeps a few-byte table from vouching for a huge
+		// SrcLen that callers sizing output buffers would allocate first.
+		if ol > tl*(MaxMatch/2) {
+			return fmt.Errorf("%w: part %d output length %d implausible for %d token bytes", ErrCorrupt, i, ol, tl)
+		}
 		lay.tokLens[i] = int(tl)
 		lay.Parts[i] = SubPart{OutStart: outTotal, OutLen: int(ol)}
 		outTotal += int(ol)

@@ -132,6 +132,49 @@ func TestPartCountAllocBounded(t *testing.T) {
 	}
 }
 
+// TestImplausibleOutLenRejectedAtParse: a part's claimed output is bounded
+// by its token stream's maximum expansion at parse time. Without the bound,
+// a few-byte table claiming tl=0/ol=SrcLen passes every resolve-time
+// cross-check and only fails at decode — after an external caller sizing
+// its buffer from lay.SrcLen (as DecodeSub requires) has allocated up to
+// 1 GiB from a handful of corrupt input bytes.
+func TestImplausibleOutLenRejectedAtParse(t *testing.T) {
+	cases := map[string][]byte{
+		// The reviewer's reproduction: one part, empty stream, huge output.
+		"empty stream": buildSub(ModeSubIdx, 1<<20, [][]byte{{}}, []int{1 << 20}),
+		// A 2-byte stream (flag + literal) can produce 1 byte, never 1 MiB.
+		"tiny stream": buildSub(ModeSubIdx, 1<<20, [][]byte{litStream("a")}, []int{1 << 20}),
+		// A healthy first part must not launder an implausible second one.
+		"mixed parts": buildSub(ModeSubIdx, 4+1<<20,
+			[][]byte{litStream("abcd"), {}}, []int{4, 1 << 20}),
+	}
+	for name, blob := range cases {
+		var lay SubLayout
+		ok, err := ResolveSubBlocks(&lay, blob)
+		if !ok {
+			t.Fatalf("%s: blob not recognized as indexed", name)
+		}
+		if err == nil {
+			t.Fatalf("%s: implausible output length must fail boundary resolution", name)
+		}
+		if _, err := Decompress(nil, blob); err == nil {
+			t.Fatalf("%s: serial decode must reject it too", name)
+		}
+	}
+	// The bound must not reject maximal legitimate expansion: a run-heavy
+	// block compresses to near the MaxMatch/2 ceiling and still round-trips.
+	runs := bytes.Repeat([]byte{0xAB}, 1<<14)
+	res := CompressSubBlocks(runs, SubBlockParams{SubBlocks: 4})
+	blob, _ := PostProcess(nil, res)
+	out, err := Decompress(nil, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, runs) {
+		t.Fatal("run-heavy round trip diverged")
+	}
+}
+
 // TestSubDecodeParallelDifferential: the two-pass parallel decoder must be
 // byte-identical to the retained serial decoder across all golden corpora,
 // lane counts, and overlaps — including when parts decode out of order

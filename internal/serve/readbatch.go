@@ -24,7 +24,10 @@ type ReadBatchOptions struct {
 	// buffers and is valid only for the duration of the call. Sink is
 	// called concurrently from multiple goroutines (at most one per shard
 	// at a time), so it must be safe for concurrent use — writing to
-	// distinct per-i slots is the intended pattern.
+	// distinct per-i slots is the intended pattern. Sink runs while
+	// ReadBatch holds every shard lock, so it must not call back into the
+	// Array (Read, Write, Stats, ReadBatch, ...) — a re-entrant call
+	// deadlocks.
 	Sink func(i int, block []byte, err error)
 }
 

@@ -277,6 +277,10 @@ func (b *ReadBatch) RunItem(i int) {
 		it.deferred, _, it.err = lz.DecodeSubPart(region, &jb.lay, int(it.part), it.deferred)
 		return
 	}
+	// A recycled item slot may hold deferred copies from an earlier batch's
+	// sub-part decode; Commit patches deferred unconditionally, so a stale
+	// list here would corrupt the freshly decoded block.
+	it.deferred = it.deferred[:0]
 	// Three-index slice: region's capacity must not leak into the next
 	// op's region if a corrupt blob over-decodes (append would reallocate
 	// instead, and the size check below rejects it).

@@ -3,6 +3,7 @@ package volume
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"inlinered/internal/fault"
@@ -176,6 +177,66 @@ func TestReadBatchReuse(t *testing.T) {
 			if !bytes.Equal(b.Block(i), want) {
 				t.Fatalf("round %d read %d (lba %d): bytes diverge", round, i, lba)
 			}
+		}
+	}
+}
+
+// TestReadBatchReuseIndexedThenRaw: recycled item slots must not leak
+// deferred overlap copies across batches. Batch 1 decodes an indexed
+// container whose sub-parts defer cross-lane matches; batch 2 reuses the
+// same ReadBatch to read raw-fallback blobs, whose whole-blob items recycle
+// those slots — stale deferred entries would be patched into the freshly
+// decoded blocks at commit as silent corruption.
+func TestReadBatchReuseIndexedThenRaw(t *testing.T) {
+	v := newVolume(t, subConfig())
+	bs := v.cfg.BlockSize
+
+	// lba 0: short repeating pattern — the indexed container's later parts
+	// encode matches reaching into earlier lanes' output, which defer.
+	indexed := bytes.Repeat([]byte{0x10, 0x33, 0x52, 0x71, 0x9c, 0xbe, 0xd4, 0xf7}, bs/8)
+	// lbas 1, 2: incompressible content stores as raw blobs, decoded by the
+	// whole-blob fallback items that recycle batch 1's sub-part slots.
+	rng := rand.New(rand.NewSource(7))
+	raw1, raw2 := make([]byte, bs), make([]byte, bs)
+	rng.Read(raw1)
+	rng.Read(raw2)
+	for lba, data := range map[int64][]byte{0: indexed, 1: raw1, 2: raw2} {
+		if _, err := v.Write(lba, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	b, err := v.ReadBatch(nil, []int64{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Err(0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Block(0), indexed) {
+		t.Fatal("indexed read returned wrong bytes")
+	}
+	if b.DecodedParts() < 2 {
+		t.Fatalf("indexed blob decoded as %d items; the scenario needs sub-part fan-out", b.DecodedParts())
+	}
+	deferred := 0
+	for i := range b.items {
+		deferred += len(b.items[i].deferred)
+	}
+	if deferred == 0 {
+		t.Fatal("indexed decode produced no deferred copies; the scenario needs stale entries to leak")
+	}
+
+	b, err = v.ReadBatch(b, []int64{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range [][]byte{raw1, raw2} {
+		if err := b.Err(i); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b.Block(i), want) {
+			t.Fatalf("raw read %d corrupted by stale deferred copies from the previous batch", i)
 		}
 	}
 }
