@@ -203,7 +203,7 @@ func (d *BlockDevice) Now() time.Duration { return d.inner.Now() }
 type ReadBatchOptions = serve.ReadBatchOptions
 
 // ReadBatchReport summarizes a BlockDevice.ReadBatch run under the
-// "inlinered/serve-readbatch-report/v1" JSON schema. It excludes client
+// "inlinered/serve-readbatch-report/v2" JSON schema. It excludes client
 // counts, decode parallelism, and wall clocks: runs differing only in
 // scheduling encode to identical bytes.
 type ReadBatchReport = serve.ReadBatchReport

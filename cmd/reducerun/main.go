@@ -95,6 +95,7 @@ func main() {
 	clients := flag.Int("clients", 0, "concurrent serving workers with -shards (0 = one per shard; report is identical for any value)")
 	bootStorm := flag.Bool("boot-storm", false, "run the VDI boot-storm batch-read scenario instead of a closed-loop mix")
 	stormClients := flag.Int("storm-clients", 0, "booting desktops with -boot-storm (0 = the default 32)")
+	stormPasses := flag.Int("storm-passes", 1, "storm repetitions with -boot-storm; the report covers the last pass, so passes >= 2 shows the warm-cache hit rate")
 	subBlocks := flag.Int("sub-blocks", 4, "independent sub-blocks per unique chunk with -boot-storm (parallel-decode fan-out width)")
 	serveOps := flag.Int("serve-ops", 20000, "closed-loop operations with -shards")
 	blocks := flag.Int64("blocks", 16384, "LBA space in blocks with -shards")
@@ -145,7 +146,7 @@ func main() {
 
 	if *bootStorm {
 		runBootStorm(*nodes, *replicas, *shards, *clients, *stormClients, *subBlocks,
-			*par, *blocks, *seed, *jsonOut, info)
+			*par, *stormPasses, *blocks, *seed, *jsonOut, info)
 		return
 	}
 	if *nodes > 0 {
@@ -323,7 +324,10 @@ func runServe(shards, clients, ops int, blocks int64, dedup float64, seed, fault
 // runBootStorm installs the golden image, then replays the interleaved
 // per-client read storm through the parallel batch read path — on a
 // sharded array by default, or across a replicated cluster with -nodes.
-func runBootStorm(nodes, replicas, shards, clients, stormClients, subBlocks, par int,
+// With passes >= 2 the same storm repeats and the report covers the last
+// pass: the warm-cache picture, where the admission policy's retained hot
+// set shows up as the report's cache hit rate.
+func runBootStorm(nodes, replicas, shards, clients, stormClients, subBlocks, par, passes int,
 	blocks int64, seed int64, jsonOut bool, info *os.File) {
 	spec := inlinered.DefaultBootStormSpec()
 	if stormClients > 0 {
@@ -338,14 +342,17 @@ func runBootStorm(nodes, replicas, shards, clients, stormClients, subBlocks, par
 	if err != nil {
 		fatal(err)
 	}
+	if passes < 1 {
+		passes = 1
+	}
 	opts := inlinered.BlockDeviceOptions{
 		Blocks:      blocks,
 		Shards:      shards,
 		SubBlocks:   subBlocks,
 		Parallelism: par,
 	}
-	fmt.Fprintf(info, "boot storm: %d clients x %d reads over a %d-block golden image (sub-blocks %d, decode workers %d)\n\n",
-		spec.Clients, spec.ReadsPerClient, spec.ImageBlocks, subBlocks, par)
+	fmt.Fprintf(info, "boot storm: %d clients x %d reads over a %d-block golden image (sub-blocks %d, decode workers %d, passes %d)\n\n",
+		spec.Clients, spec.ReadsPerClient, spec.ImageBlocks, subBlocks, par, passes)
 
 	var out []byte
 	var summary string
@@ -360,9 +367,12 @@ func runBootStorm(nodes, replicas, shards, clients, stormClients, subBlocks, par
 		if _, err := cl.Serve(fill, inlinered.ClusterServeOptions{ContentSeed: seed}); err != nil {
 			fatal(err)
 		}
-		rep, err := cl.ReadBatch(lbas, inlinered.ClusterReadBatchOptions{Clients: clients})
-		if err != nil {
-			fatal(err)
+		var rep *inlinered.ClusterReadBatchReport
+		for p := 0; p < passes; p++ {
+			rep, err = cl.ReadBatch(lbas, inlinered.ClusterReadBatchOptions{Clients: clients})
+			if err != nil {
+				fatal(err)
+			}
 		}
 		if out, err = rep.JSON(); err != nil {
 			fatal(err)
@@ -377,9 +387,12 @@ func runBootStorm(nodes, replicas, shards, clients, stormClients, subBlocks, par
 		if _, err := arr.Serve(fill, inlinered.ServeOptions{ContentSeed: seed}); err != nil {
 			fatal(err)
 		}
-		rep, err := arr.ReadBatch(lbas, inlinered.ReadBatchOptions{Clients: clients})
-		if err != nil {
-			fatal(err)
+		var rep *inlinered.ReadBatchReport
+		for p := 0; p < passes; p++ {
+			rep, err = arr.ReadBatch(lbas, inlinered.ReadBatchOptions{Clients: clients})
+			if err != nil {
+				fatal(err)
+			}
 		}
 		if out, err = rep.JSON(); err != nil {
 			fatal(err)

@@ -428,7 +428,7 @@ func (c *Cluster) NodeStats() []DeviceStats { return c.inner.NodeStats() }
 type ClusterReadBatchOptions = cluster.ReadBatchOptions
 
 // ClusterReadBatchReport summarizes a Cluster.ReadBatch run under the
-// "inlinered/cluster-readbatch-report/v1" JSON schema. Like the serve-tier
+// "inlinered/cluster-readbatch-report/v2" JSON schema. Like the serve-tier
 // report it excludes client counts, decode parallelism, and wall clocks.
 type ClusterReadBatchReport = cluster.ReadBatchReport
 

@@ -132,6 +132,9 @@ type Cluster struct {
 
 	opBase int64 // cumulative sequenced ops, for the membership timeline
 
+	// Batch read path's reusable routing buffers (see readScratch).
+	rsc readScratch
+
 	obs  *obs.Recorder
 	lane obs.Lane
 }

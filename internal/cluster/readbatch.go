@@ -25,29 +25,62 @@ type ReadBatchOptions struct {
 
 // NodeReadReport is one node's slice of a cluster batch read.
 type NodeReadReport struct {
-	Reads        int           `json:"reads"`
-	Errors       int64         `json:"errors"`
-	DecodedBlobs int64         `json:"decoded_blobs"`
-	DecodedParts int64         `json:"decoded_parts"`
-	Elapsed      time.Duration `json:"elapsed_ns"`
+	Reads           int           `json:"reads"`
+	Errors          int64         `json:"errors"`
+	DecodedBlobs    int64         `json:"decoded_blobs"`
+	DecodedParts    int64         `json:"decoded_parts"`
+	CacheHits       int64         `json:"cache_hits"`
+	CacheMisses     int64         `json:"cache_misses"`
+	CacheAdmissions int64         `json:"cache_admissions"`
+	CacheGhostHits  int64         `json:"cache_ghost_hits"`
+	Elapsed         time.Duration `json:"elapsed_ns"`
+}
+
+// readScratch holds ReadBatch's reusable routing buffers. One batch owns
+// it at a time (TryLock); a concurrent ReadBatch falls back to fresh
+// allocations, so reuse never changes behavior — the serveScratch pattern.
+type readScratch struct {
+	mu     sync.Mutex
+	queues [][]int64
+	pos    [][]int
+	reps   []*serve.ReadBatchReport
 }
 
 // ReadBatchReport summarizes one Cluster.ReadBatch run. Like the batch
 // Serve report it excludes client counts, decode parallelism, and wall
 // clocks: runs differing only in scheduling encode to identical bytes.
 type ReadBatchReport struct {
-	Nodes        int              `json:"nodes"`
-	Reads        int              `json:"reads"`
-	Errors       int64            `json:"errors"`
-	Fallbacks    int64            `json:"fallbacks"` // reads served off-primary (stale primary copy)
-	DecodedBlobs int64            `json:"decoded_blobs"`
-	DecodedParts int64            `json:"decoded_parts"`
-	Elapsed      time.Duration    `json:"elapsed_ns"` // slowest node's virtual elapsed time
-	PerNode      []NodeReadReport `json:"per_node"`
+	Nodes        int   `json:"nodes"`
+	Reads        int   `json:"reads"`
+	Errors       int64 `json:"errors"`
+	Fallbacks    int64 `json:"fallbacks"` // reads served off-primary (stale primary copy)
+	DecodedBlobs int64 `json:"decoded_blobs"`
+	DecodedParts int64 `json:"decoded_parts"`
+
+	// Chunk-cache accounting summed over nodes (deterministic: every
+	// counter moves in the per-shard sequential plan phases).
+	CacheHits       int64 `json:"cache_hits"`
+	CacheMisses     int64 `json:"cache_misses"`
+	CacheAdmissions int64 `json:"cache_admissions"`
+	CacheGhostHits  int64 `json:"cache_ghost_hits"`
+
+	Elapsed time.Duration    `json:"elapsed_ns"` // slowest node's virtual elapsed time
+	PerNode []NodeReadReport `json:"per_node"`
+}
+
+// HitRate returns the batch's cache hit fraction over lookups (0 when the
+// batch looked nothing up).
+func (r *ReadBatchReport) HitRate() float64 {
+	lookups := r.CacheHits + r.CacheMisses
+	if lookups == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(lookups)
 }
 
 // ReadBatchReportSchema versions the cluster batch-read report envelope.
-const ReadBatchReportSchema = "inlinered/cluster-readbatch-report/v1"
+// v2 added the cache_* counters from the scan-resistant admission policy.
+const ReadBatchReportSchema = "inlinered/cluster-readbatch-report/v2"
 
 // JSON encodes the report as stable, indented JSON with a schema envelope.
 func (r *ReadBatchReport) JSON() ([]byte, error) {
@@ -67,8 +100,9 @@ func (r *ReadBatchReport) JSON() ([]byte, error) {
 // String renders a one-look summary.
 func (r *ReadBatchReport) String() string {
 	return fmt.Sprintf(
-		"nodes=%d reads=%d errors=%d fallbacks=%d decoded blobs=%d parts=%d elapsed=%v",
+		"nodes=%d reads=%d errors=%d fallbacks=%d decoded blobs=%d parts=%d cache hits=%d/%d (%.1f%%) elapsed=%v",
 		r.Nodes, r.Reads, r.Errors, r.Fallbacks, r.DecodedBlobs, r.DecodedParts,
+		r.CacheHits, r.CacheHits+r.CacheMisses, 100*r.HitRate(),
 		r.Elapsed.Round(time.Microsecond))
 }
 
@@ -105,8 +139,33 @@ func (c *Cluster) ReadBatch(lbas []int64, opt ReadBatchOptions) (*ReadBatchRepor
 		}
 	}
 	nodes := c.nodes
-	queues := make([][]int64, len(nodes))
-	pos := make([][]int, len(nodes))
+	// Routing buffers come from the cluster scratch when it is free; the
+	// queues keep their per-node capacities across batches, so routing a
+	// steady storm allocates nothing.
+	var queues [][]int64
+	var pos [][]int
+	var reps []*serve.ReadBatchReport
+	scratch := c.rsc.mu.TryLock()
+	if scratch {
+		defer c.rsc.mu.Unlock()
+		if cap(c.rsc.queues) < len(nodes) {
+			c.rsc.queues = make([][]int64, len(nodes))
+			c.rsc.pos = make([][]int, len(nodes))
+			c.rsc.reps = make([]*serve.ReadBatchReport, len(nodes))
+		}
+		queues = c.rsc.queues[:len(nodes)]
+		pos = c.rsc.pos[:len(nodes)]
+		reps = c.rsc.reps[:len(nodes)]
+		for n := range queues {
+			queues[n] = queues[n][:0]
+			pos[n] = pos[n][:0]
+			reps[n] = nil
+		}
+	} else {
+		queues = make([][]int64, len(nodes))
+		pos = make([][]int, len(nodes))
+		reps = make([]*serve.ReadBatchReport, len(nodes))
+	}
 	var fallbacks int64
 	for i, lba := range lbas {
 		owners := c.owners(lba)
@@ -130,7 +189,6 @@ func (c *Cluster) ReadBatch(lbas []int64, opt ReadBatchOptions) (*ReadBatchRepor
 		clients = len(nodes)
 	}
 	per := make([]NodeReadReport, len(nodes))
-	reps := make([]*serve.ReadBatchReport, len(nodes))
 	var firstErr atomic.Value
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -172,15 +230,23 @@ func (c *Cluster) ReadBatch(lbas []int64, opt ReadBatchOptions) (*ReadBatchRepor
 			continue
 		}
 		per[n] = NodeReadReport{
-			Reads:        rep.Reads,
-			Errors:       rep.Errors,
-			DecodedBlobs: rep.DecodedBlobs,
-			DecodedParts: rep.DecodedParts,
-			Elapsed:      rep.Elapsed,
+			Reads:           rep.Reads,
+			Errors:          rep.Errors,
+			DecodedBlobs:    rep.DecodedBlobs,
+			DecodedParts:    rep.DecodedParts,
+			CacheHits:       rep.CacheHits,
+			CacheMisses:     rep.CacheMisses,
+			CacheAdmissions: rep.CacheAdmissions,
+			CacheGhostHits:  rep.CacheGhostHits,
+			Elapsed:         rep.Elapsed,
 		}
 		out.Errors += rep.Errors
 		out.DecodedBlobs += rep.DecodedBlobs
 		out.DecodedParts += rep.DecodedParts
+		out.CacheHits += rep.CacheHits
+		out.CacheMisses += rep.CacheMisses
+		out.CacheAdmissions += rep.CacheAdmissions
+		out.CacheGhostHits += rep.CacheGhostHits
 		if rep.Elapsed > out.Elapsed {
 			out.Elapsed = rep.Elapsed
 		}

@@ -91,12 +91,24 @@ type serveScratch struct {
 	per    []ShardReport
 }
 
+// readScratch holds Array.ReadBatch's reusable per-call state. ReadBatch
+// holds every shard lock for its whole run, so concurrent callers
+// serialize on shard 0's mutex and the scratch needs no lock of its own.
+type readScratch struct {
+	startNow  []time.Duration
+	prefix    []int             // per-shard item-count prefix sums
+	itemShard []int32           // global item index -> owning shard
+	per       []ReadShardReport // per-shard report slots, reused per call
+	run       func(k int)       // stage-2 body, built once per array
+}
+
 // Array is the sharded front-end. All methods are safe for concurrent use.
 type Array struct {
 	cfg     Config
 	blocks  int64
 	shards  []*shard
 	scratch serveScratch
+	rsc     readScratch
 
 	// Decode worker pool for the batch read path, created on first use.
 	// One pool per array: parallel.Pool.Map is not reentrant, so ReadBatch

@@ -2,6 +2,7 @@ package volume
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"inlinered/internal/dedup"
@@ -89,11 +90,63 @@ type ReadBatch struct {
 	jobs    []batchJob
 	items   []batchItem
 	pending map[dedup.Fingerprint]int32 // fp -> job decoding it this batch
+
+	// Cache-counter deltas over the last Plan, for batch reports.
+	cacheHits, cacheMisses, cacheAdmissions, cacheGhostHits int64
 }
 
-// NewReadBatch returns an empty batch bound to v.
+// batchPool recycles whole ReadBatch values — backing buffer, op/job/item
+// arrays, sub-block layouts, deferred-copy lists, and the pending map all
+// survive from one batch's lifetime to the next, so a fresh
+// NewReadBatch/Release cycle costs no steady-state allocations. Entries
+// carry no volume affinity: Release scrubs every reference into the old
+// volume's data.
+var batchPool = sync.Pool{New: func() any { return new(ReadBatch) }}
+
+// NewReadBatch returns an empty batch bound to v, recycled from the
+// package pool when one is available. Pass it back to Release when done
+// with it (serve shards do this on Array.Close) — or don't: an unreleased
+// batch is ordinary garbage.
 func (v *Volume) NewReadBatch() *ReadBatch {
-	return &ReadBatch{v: v, pending: make(map[dedup.Fingerprint]int32)}
+	b := batchPool.Get().(*ReadBatch)
+	b.v = v
+	return b
+}
+
+// Release scrubs the batch's references into volume-owned memory (blobs,
+// cache slots, token streams) and returns it to the package pool. The
+// capacities that make reuse cheap — buffer, op/job/item arrays, layouts,
+// deferred lists, the pending map — are kept. The batch must not be used
+// after Release.
+func (b *ReadBatch) Release() {
+	if b == nil {
+		return
+	}
+	jobs := b.jobs[:cap(b.jobs)]
+	for i := range jobs {
+		jb := &jobs[i]
+		jb.blob = nil
+		jb.cacheSlot = nil
+		jb.err = nil
+		parts := jb.lay.Parts[:cap(jb.lay.Parts)]
+		for p := range parts {
+			parts[p].Tokens = nil
+		}
+	}
+	items := b.items[:cap(b.items)]
+	for i := range items {
+		items[i].err = nil
+	}
+	ops := b.ops[:cap(b.ops)]
+	for i := range ops {
+		ops[i].err = nil
+	}
+	b.ops = b.ops[:0]
+	b.jobs = b.jobs[:0]
+	b.items = b.items[:0]
+	clear(b.pending)
+	b.v = nil
+	batchPool.Put(b)
 }
 
 // grow extends sl by one without clearing the recycled element's backing
@@ -128,7 +181,11 @@ func (b *ReadBatch) Plan(lbas []int64) error {
 	b.ops = b.ops[:0]
 	b.jobs = b.jobs[:0]
 	b.items = b.items[:0]
-	clear(b.pending)
+	clear(b.pending) // no-op on the nil map of a batch that never missed
+	b.cacheHits, b.cacheMisses = 0, 0
+	b.cacheAdmissions, b.cacheGhostHits = 0, 0
+	h0, m0 := v.cache.hits, v.cache.misses
+	a0, g0 := v.cache.admissions, v.cache.ghostHits
 	bs := v.cfg.BlockSize
 	if need := len(lbas) * bs; cap(b.buf) < need {
 		b.buf = make([]byte, need)
@@ -164,7 +221,6 @@ func (b *ReadBatch) Plan(lbas []int64) error {
 			ms, t := v.cpu.Run(v.now, cost.MemcpyCycles(bs)+cost.StageOverheadCycles)
 			v.cpuSpan("cache-copy", ms, t)
 			v.stats.Reads++
-			v.stats.CacheHits++
 			v.now = t
 			v.histR.Observe(t - start)
 			if v.obs != nil {
@@ -221,10 +277,18 @@ func (b *ReadBatch) Plan(lbas []int64) error {
 		jb.err = nil
 		jb.firstItem = len(b.items)
 		jb.items = 0
-		// Reserve the cache slot at decision time so LRU/eviction state
-		// advances exactly as the serial path's put would.
+		// Reserve the cache slot at decision time so admission and eviction
+		// state advance exactly as the serial path's put would. Only a
+		// reserved slot can produce a pending hit, so the map (allocated
+		// lazily, on the first cached miss ever) stays empty — and untouched
+		// — on cache-disabled volumes.
 		jb.cacheSlot = v.cache.reserve(fp, bs)
-		b.pending[fp] = int32(j)
+		if jb.cacheSlot != nil {
+			if b.pending == nil {
+				b.pending = make(map[dedup.Fingerprint]int32, 64)
+			}
+			b.pending[fp] = int32(j)
+		}
 		op.job = int32(j)
 		b.ops = append(b.ops, op)
 
@@ -256,8 +320,28 @@ func (b *ReadBatch) Plan(lbas []int64) error {
 			it.err = nil
 		}
 	}
+	b.cacheHits = v.cache.hits - h0
+	b.cacheMisses = v.cache.misses - m0
+	b.cacheAdmissions = v.cache.admissions - a0
+	b.cacheGhostHits = v.cache.ghostHits - g0
 	return nil
 }
+
+// CacheHits returns how many of the batch's reads were served from cache
+// (including pending hits on entries reserved earlier in the batch).
+func (b *ReadBatch) CacheHits() int64 { return b.cacheHits }
+
+// CacheMisses returns how many of the batch's reads missed the cache.
+// Unmapped reads look nothing up, so hits+misses can be less than Len.
+func (b *ReadBatch) CacheMisses() int64 { return b.cacheMisses }
+
+// CacheAdmissions returns how many entries the batch admitted to (or
+// promoted into) the cache's protected segment.
+func (b *ReadBatch) CacheAdmissions() int64 { return b.cacheAdmissions }
+
+// CacheGhostHits returns how many of the batch's inserts re-referenced a
+// recently evicted fingerprint.
+func (b *ReadBatch) CacheGhostHits() int64 { return b.cacheGhostHits }
 
 // Items returns the number of parallel decode items Plan produced.
 func (b *ReadBatch) Items() int { return len(b.items) }
@@ -273,6 +357,12 @@ func (b *ReadBatch) RunItem(i int) {
 	bs := b.v.cfg.BlockSize
 	region := b.buf[jb.op*bs : (jb.op+1)*bs]
 	if it.part >= 0 {
+		if it.deferred == nil {
+			// Presize cold slots: deferred lists are short (overlap history
+			// plus hole chains), so one up-front block replaces append's
+			// doubling walk on the first batch through this slot.
+			it.deferred = make([]lz.DeferredCopy, 0, 16)
+		}
 		it.deferred = it.deferred[:0]
 		it.deferred, _, it.err = lz.DecodeSubPart(region, &jb.lay, int(it.part), it.deferred)
 		return

@@ -125,11 +125,20 @@ type logCursor struct {
 
 // Stats reports volume space and activity accounting.
 type Stats struct {
-	Writes       int64 `json:"writes"`
-	Reads        int64 `json:"reads"`
-	Trims        int64 `json:"trims"`
-	DedupHits    int64 `json:"dedup_hits"`
-	CacheHits    int64 `json:"cache_hits"`
+	Writes    int64 `json:"writes"`
+	Reads     int64 `json:"reads"`
+	Trims     int64 `json:"trims"`
+	DedupHits int64 `json:"dedup_hits"`
+
+	// Read-cache accounting, from the scan-resistant admission policy:
+	// hits/misses count lookups, admissions counts entries placed in (or
+	// promoted into) the protected segment, and ghost hits count inserts
+	// whose fingerprint was recently evicted — the 2Q re-admission signal.
+	CacheHits       int64 `json:"cache_hits"`
+	CacheMisses     int64 `json:"cache_misses"`
+	CacheAdmissions int64 `json:"cache_admissions"`
+	CacheGhostHits  int64 `json:"cache_ghost_hits"`
+
 	LogicalBytes int64 `json:"logical_bytes"` // live user data (mapped blocks × block size)
 	StoredBytes  int64 `json:"stored_bytes"`  // live compressed bytes in the log
 	LogBytes     int64 `json:"log_bytes"`     // total log bytes appended (live + dead)
@@ -174,6 +183,9 @@ func (s *Stats) AddCounters(st Stats) {
 	s.Trims += st.Trims
 	s.DedupHits += st.DedupHits
 	s.CacheHits += st.CacheHits
+	s.CacheMisses += st.CacheMisses
+	s.CacheAdmissions += st.CacheAdmissions
+	s.CacheGhostHits += st.CacheGhostHits
 	s.LogicalBytes += st.LogicalBytes
 	s.StoredBytes += st.StoredBytes
 	s.LogBytes += st.LogBytes
@@ -323,6 +335,10 @@ func (v *Volume) Stats() Stats {
 	st.ReadLat = v.histR.Summary()
 	st.TrimLat = v.histT.Summary()
 	st.JournalFlushLat = v.histJF.Summary()
+	st.CacheHits = v.cache.hits
+	st.CacheMisses = v.cache.misses
+	st.CacheAdmissions = v.cache.admissions
+	st.CacheGhostHits = v.cache.ghostHits
 	st.JournalRecords = int64(v.journal.Records())
 	st.JournalTornRecords = int64(v.journal.TornRecords())
 	st.LatencySpikes = v.drive.Stats().LatencySpikes
@@ -700,7 +716,6 @@ func (v *Volume) ReadInto(dst []byte, lba int64) ([]byte, time.Duration, error) 
 		ms, t := v.cpu.Run(v.now, v.cpu.Cost.MemcpyCycles(len(data))+v.cpu.Cost.StageOverheadCycles)
 		v.cpuSpan("cache-copy", ms, t)
 		v.stats.Reads++
-		v.stats.CacheHits++
 		v.now = t
 		v.histR.Observe(t - start)
 		if v.obs != nil {

@@ -16,7 +16,10 @@
 # Both units GATE: a >TIME_TOLERANCE_PCT ns/op or >ALLOC_TOLERANCE_PCT
 # allocs/op geomean regression exits non-zero. Compare on the machine that
 # recorded the baseline (or re-record); wall time is not portable across
-# hosts.
+# hosts. The batch read path additionally carries two ABSOLUTE gates
+# (host-independent, enforced even with --record): allocs/read-op on the
+# cache-disabled storm cases must stay under READ_ALLOC_CEILING, and the
+# warm-cache storm pass's hit rate must stay over CACHE_HIT_FLOOR.
 #
 # Every run (compare or --record) also writes BENCH_<n>.json — a
 # github-action-benchmark data.js-style snapshot (per-benchmark geomeans
@@ -50,6 +53,7 @@ CASES=(
     BenchmarkClusterWallClock/nodes3r2
     BenchmarkReadPathWallClock/serial
     BenchmarkReadPathWallClock/parallel
+    BenchmarkReadPathWallClock/warm
     BenchmarkGearCDC/
     BenchmarkSumBatch
     BenchmarkSubDecode4K/serial
@@ -61,6 +65,15 @@ COUNT="${BENCH_COUNT:-5}"
 # more headroom for host jitter but still fails the run when exceeded.
 TIME_TOLERANCE_PCT="${TIME_TOLERANCE_PCT:-15}"
 ALLOC_TOLERANCE_PCT="${ALLOC_TOLERANCE_PCT:-10}"
+# Absolute gates on the batch read path, enforced on every run (including
+# --record): the zero-alloc decode path must stay under the per-read
+# allocation ceiling on the cache-disabled cases, and the warm-cache storm
+# pass must keep a nonzero hit rate, or the admission policy has regressed
+# to scan-churn. These mirror (and re-check, for runs that bypass `go
+# test`'s own Fatalf gates) the ceilings compiled into
+# BenchmarkReadPathWallClock.
+READ_ALLOC_CEILING="${READ_ALLOC_CEILING:-0.05}"
+CACHE_HIT_FLOOR="${CACHE_HIT_FLOOR:-0.05}"
 
 PROFILE_ARGS=()
 if [[ -n "${PROFILE_DIR:-}" ]]; then
@@ -102,6 +115,55 @@ geomean() {
             if (n == 0) { print "NaN"; exit 1 }
             printf "%.0f\n", exp(sum / n)
         }' "$1"
+}
+
+# fgeomean <file> <benchmark-substring> <unit> — like geomean but keeps
+# fractional precision, for sub-1.0 custom metrics (allocs/read-op,
+# cache-hit-rate) where rounding to an integer would erase the value.
+fgeomean() {
+    awk -v name="$2" -v unit="$3" '
+        $1 ~ name {
+            for (i = 2; i <= NF; i++) {
+                if ($i == unit) {
+                    v = $(i-1) + 0
+                    if (v < 1e-9) v = 1e-9
+                    sum += log(v); n++
+                }
+            }
+        }
+        END {
+            if (n == 0) { print "NaN"; exit 1 }
+            printf "%.6g\n", exp(sum / n)
+        }' "$1"
+}
+
+# read_path_gates <raw-bench-output> — the absolute read-path gates.
+# Returns non-zero when a gate fails.
+read_path_gates() {
+    local raw="$1" ok=1 bcase allocs hitrate
+    echo
+    echo "== read-path absolute gates =="
+    for bcase in BenchmarkReadPathWallClock/serial BenchmarkReadPathWallClock/parallel; do
+        allocs="$(fgeomean "$raw" "$bcase" allocs/read-op)" || { echo "$bcase: no allocs/read-op samples"; ok=0; continue; }
+        if awk -v v="$allocs" -v c="$READ_ALLOC_CEILING" 'BEGIN { exit !(v <= c) }'; then
+            printf '%-36s allocs/read-op=%-10s ceiling=%-8s ok\n' "$bcase" "$allocs" "$READ_ALLOC_CEILING"
+        else
+            printf '%-36s allocs/read-op=%-10s ceiling=%-8s FAIL (read path regressed off the pooled zero-alloc plan)\n' \
+                "$bcase" "$allocs" "$READ_ALLOC_CEILING"
+            ok=0
+        fi
+    done
+    hitrate="$(fgeomean "$raw" BenchmarkReadPathWallClock/warm cache-hit-rate)" || { echo "warm case: no cache-hit-rate samples"; ok=0; }
+    if [[ -n "${hitrate:-}" ]]; then
+        if awk -v v="$hitrate" -v f="$CACHE_HIT_FLOOR" 'BEGIN { exit !(v >= f) }'; then
+            printf '%-36s cache-hit-rate=%-10s floor=%-8s ok\n' "BenchmarkReadPathWallClock/warm" "$hitrate" "$CACHE_HIT_FLOOR"
+        else
+            printf '%-36s cache-hit-rate=%-10s floor=%-8s FAIL (admission policy no longer survives the storm scan)\n' \
+                "BenchmarkReadPathWallClock/warm" "$hitrate" "$CACHE_HIT_FLOOR"
+            ok=0
+        fi
+    fi
+    [[ "$ok" == 1 ]]
 }
 
 # ratio <file> <caseA> <caseB> — geomean ns/op of caseA over caseB.
@@ -155,7 +217,8 @@ write_json() {
                 name = $1; sub(/-[0-9]+$/, "", name)
                 for (i = 3; i <= NF; i++) {
                     u = $i
-                    if (u == "ns/op" || u == "MB/s" || u == "allocs/op" || u == "allocs/storage-op") {
+                    if (u == "ns/op" || u == "MB/s" || u == "allocs/op" || u == "allocs/storage-op" ||
+                        u == "allocs/read-op" || u == "cache-hit-rate") {
                         key = name "|" u
                         if (!(key in cnt)) order[++n] = key
                         v = $(i-1) + 0
@@ -210,6 +273,9 @@ if [[ "${1:-}" == "--record" ]]; then
         echo "#   ReadPathWallClock serial/parallel  = $(ratio "$RAW" BenchmarkReadPathWallClock/serial BenchmarkReadPathWallClock/parallel)"
         echo "#   SubDecode4K serial/indexed         = $(ratio "$RAW" BenchmarkSubDecode4K/serial BenchmarkSubDecode4K/indexed)"
         echo "#   GearCDC ref/fast (all corpora)     = $(ratio "$RAW" BenchmarkGearCDCRef/ BenchmarkGearCDC/)"
+        echo "# Read-path absolute gates at record time (also enforced inside the bench):"
+        echo "#   allocs/read-op (cache off)  = $(fgeomean "$RAW" BenchmarkReadPathWallClock/parallel allocs/read-op) (ceiling $READ_ALLOC_CEILING)"
+        echo "#   warm-pass cache-hit-rate    = $(fgeomean "$RAW" BenchmarkReadPathWallClock/warm cache-hit-rate) (floor $CACHE_HIT_FLOOR)"
         echo "# On a single-core host the serial/parallel and shards1/shards4 ratios"
         echo "# hover near 1.00: the parallel, sharded, and batch-read-fan-out cases"
         echo "# time-slice one CPU, so only dispatch overhead separates them."
@@ -218,6 +284,7 @@ if [[ "${1:-}" == "--record" ]]; then
     } >"$BASELINE"
     echo "recorded baseline into $BASELINE"
     write_json "$RAW"
+    read_path_gates "$RAW"
     exit 0
 fi
 
@@ -238,9 +305,11 @@ if command -v benchstat >/dev/null 2>&1; then
     benchstat "$BASELINE" "$CURRENT"
 fi
 
+fail=0
+read_path_gates "$CURRENT" || fail=1
+
 echo
 echo "== tolerance gate (geomean vs baseline) =="
-fail=0
 for bcase in "${CASES[@]}"; do
     for spec in "ns/op:$TIME_TOLERANCE_PCT" "allocs/op:$ALLOC_TOLERANCE_PCT"; do
         unit="${spec%%:*}"
